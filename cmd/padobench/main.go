@@ -1,0 +1,157 @@
+// Command padobench regenerates the paper's evaluation figures (5-9) on
+// the simulated datacenter, or runs a single experiment.
+//
+//	padobench -figure 5           # ALS eviction-rate sweep
+//	padobench -figure all         # everything
+//	padobench -single -engine pado -workload mlr -rate high
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pado/internal/harness"
+	"pado/internal/runtime"
+	"pado/internal/trace"
+	"pado/internal/vtime"
+)
+
+func main() {
+	figure := flag.String("figure", "", "figure to regenerate: 5, 6, 7, 8, 9, or all")
+	single := flag.Bool("single", false, "run a single experiment")
+	engine := flag.String("engine", "pado", "single: engine (spark, spark-checkpoint, pado)")
+	workload := flag.String("workload", "mr", "single: workload (als, mlr, mr)")
+	rate := flag.String("rate", "none", "single: eviction rate (none, low, medium, high)")
+	transient := flag.Int("transient", 40, "transient containers")
+	reserved := flag.Int("reserved", 5, "reserved containers")
+	size := flag.Float64("size", 1.0, "workload size factor")
+	scaleMS := flag.Int("scale", 60, "wall milliseconds per paper minute")
+	timeout := flag.Float64("timeout", 90, "timeout in paper minutes")
+	seed := flag.Int64("seed", 424242, "experiment seed")
+	repeats := flag.Int("repeats", 1, "average each cell over this many seeds")
+	noAgg := flag.Bool("pado-noagg", false, "disable Pado partial aggregation")
+	noCache := flag.Bool("pado-nocache", false, "disable Pado task input caching")
+	pull := flag.Bool("pado-pull", false, "Pado ablation: pull-based stage boundaries")
+	aggMax := flag.Int("pado-aggmax", 0, "Pado executor-level aggregation task limit (0 = default)")
+	padoReduce := flag.Int("pado-reduce", 0, "override Pado reduce parallelism")
+	flag.Parse()
+
+	base := harness.Params{
+		Transient:      *transient,
+		Reserved:       *reserved,
+		Size:           *size,
+		Scale:          vtime.NewScale(time.Duration(*scaleMS) * time.Millisecond),
+		TimeoutMinutes: *timeout,
+		Seed:           *seed,
+		Repeats:        *repeats,
+	}
+	if *noAgg || *noCache || *pull || *aggMax != 0 || *padoReduce != 0 {
+		base.PadoConfig = func(cfg *runtime.Config) {
+			cfg.DisablePartialAggregation = *noAgg
+			cfg.DisableCache = *noCache
+			cfg.PullBoundaries = *pull
+			if *aggMax != 0 {
+				cfg.AggMaxTasks = *aggMax
+			}
+			if *padoReduce != 0 {
+				cfg.Plan.ReduceParallelism = *padoReduce
+			}
+		}
+	}
+
+	if *single {
+		p := base
+		var ok bool
+		if p.Engine, ok = parseEngine(*engine); !ok {
+			fatalf("unknown engine %q", *engine)
+		}
+		if p.Workload, ok = parseWorkload(*workload); !ok {
+			fatalf("unknown workload %q", *workload)
+		}
+		if p.Rate, ok = parseRate(*rate); !ok {
+			fatalf("unknown rate %q", *rate)
+		}
+		out, err := harness.Run(p)
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		fmt.Println(out)
+		fmt.Printf("  %s\n", out.Metrics)
+		return
+	}
+
+	run := func(name string, f func(harness.Params) *harness.Table) {
+		fmt.Printf("=== Figure %s ===\n", name)
+		start := time.Now()
+		fmt.Print(f(base))
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	switch *figure {
+	case "5":
+		run("5 (ALS)", harness.Figure5)
+	case "6":
+		run("6 (MLR)", harness.Figure6)
+	case "7":
+		run("7 (MR)", harness.Figure7)
+	case "8":
+		run("8 (reserved ratio)", harness.Figure8)
+	case "9":
+		run("9 (scalability)", harness.Figure9)
+	case "all":
+		run("5 (ALS)", harness.Figure5)
+		run("6 (MLR)", harness.Figure6)
+		run("7 (MR)", harness.Figure7)
+		run("8 (reserved ratio)", harness.Figure8)
+		run("9 (scalability)", harness.Figure9)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseEngine(s string) (harness.Engine, bool) {
+	switch strings.ToLower(s) {
+	case "spark":
+		return harness.EngineSpark, true
+	case "spark-checkpoint", "ck", "checkpoint":
+		return harness.EngineSparkCheckpoint, true
+	case "pado":
+		return harness.EnginePado, true
+	}
+	return 0, false
+}
+
+func parseWorkload(s string) (harness.Workload, bool) {
+	switch strings.ToLower(s) {
+	case "als":
+		return harness.WorkloadALS, true
+	case "mlr":
+		return harness.WorkloadMLR, true
+	case "mr":
+		return harness.WorkloadMR, true
+	}
+	return 0, false
+}
+
+func parseRate(s string) (trace.Rate, bool) {
+	switch strings.ToLower(s) {
+	case "none":
+		return trace.RateNone, true
+	case "low":
+		return trace.RateLow, true
+	case "medium", "med":
+		return trace.RateMedium, true
+	case "high":
+		return trace.RateHigh, true
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

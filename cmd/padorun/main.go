@@ -1,0 +1,191 @@
+// Command padorun runs one of the built-in workloads on a chosen engine
+// and cluster shape, printing the compiled plan, the job metrics, and a
+// sample of the output — a quick way to poke at the system.
+//
+//	padorun -workload mr -engine pado -rate high -plan
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pado/internal/cluster"
+	"pado/internal/core"
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+	"pado/internal/engines/sparklike"
+	"pado/internal/runtime"
+	"pado/internal/trace"
+	"pado/internal/vtime"
+	"pado/internal/workloads"
+)
+
+func main() {
+	engine := flag.String("engine", "pado", "engine: pado, spark, spark-checkpoint")
+	workload := flag.String("workload", "mr", "workload: mr, mlr, als")
+	rate := flag.String("rate", "none", "eviction rate: none, low, medium, high")
+	transient := flag.Int("transient", 12, "transient containers")
+	reserved := flag.Int("reserved", 3, "reserved containers")
+	scaleMS := flag.Int("scale", 50, "wall milliseconds per paper minute")
+	seed := flag.Int64("seed", 1, "seed")
+	showPlan := flag.Bool("plan", false, "print the compiled plan (placements and stages)")
+	dot := flag.Bool("dot", false, "print the placed logical DAG in Graphviz format")
+	sample := flag.Int("sample", 5, "output records to print")
+	flag.Parse()
+
+	var r trace.Rate
+	switch strings.ToLower(*rate) {
+	case "none":
+		r = trace.RateNone
+	case "low":
+		r = trace.RateLow
+	case "medium":
+		r = trace.RateMedium
+	case "high":
+		r = trace.RateHigh
+	default:
+		fatalf("unknown rate %q", *rate)
+	}
+
+	var pipe *dataflow.Pipeline
+	switch strings.ToLower(*workload) {
+	case "mr":
+		cfg := workloads.DefaultMRConfig()
+		cfg.Partitions, cfg.LinesPerPart = 16, 2000
+		pipe = workloads.MR(cfg)
+	case "mlr":
+		cfg := workloads.DefaultMLRConfig()
+		cfg.Partitions, cfg.SamplesPerPart = 16, 40
+		pipe = workloads.MLR(cfg)
+	case "als":
+		cfg := workloads.DefaultALSConfig()
+		cfg.Partitions, cfg.RatingsPerPart = 16, 600
+		pipe = workloads.ALS(cfg)
+	default:
+		fatalf("unknown workload %q", *workload)
+	}
+
+	scale := vtime.NewScale(time.Duration(*scaleMS) * time.Millisecond)
+	cl, err := cluster.New(cluster.Config{
+		Transient: *transient,
+		Reserved:  *reserved,
+		Lifetimes: trace.Lifetimes(r),
+		Scale:     scale,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatalf("cluster: %v", err)
+	}
+
+	if *showPlan || *dot {
+		plan, err := core.Compile(clone(pipe, *workload).Graph(), core.PlanConfig{ReduceParallelism: 2 * *reserved})
+		if err != nil {
+			fatalf("compile: %v", err)
+		}
+		if *dot {
+			fmt.Println(plan.Graph.DOT())
+		}
+		if *showPlan {
+			printPlan(plan)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var outputs map[dag.VertexID][]data.Record
+	var jct time.Duration
+	var relaunched, evictions int64
+	switch strings.ToLower(*engine) {
+	case "pado":
+		res, err := runtime.Run(ctx, cl, pipe.Graph(), runtime.Config{
+			Plan: core.PlanConfig{ReduceParallelism: 2 * *reserved},
+		})
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		outputs, jct = res.Outputs, res.Metrics.JCT
+		relaunched, evictions = res.Metrics.RelaunchedTasks, res.Metrics.Evictions
+	case "spark", "spark-checkpoint":
+		res, err := sparklike.Run(ctx, cl, pipe.Graph(), sparklike.Config{
+			Checkpoint: strings.Contains(*engine, "checkpoint"),
+			Plan:       core.PlanConfig{ReduceParallelism: 2 * *reserved},
+		})
+		if err != nil {
+			fatalf("run: %v", err)
+		}
+		outputs, jct = res.Outputs, res.Metrics.JCT
+		relaunched, evictions = res.Metrics.RelaunchedTasks, res.Metrics.Evictions
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+
+	fmt.Printf("engine=%s workload=%s rate=%s: jct=%.1f paper-min (%v wall), evictions=%d, relaunched=%d\n",
+		*engine, *workload, r, scale.Minutes(jct), jct.Round(time.Millisecond), evictions, relaunched)
+	for vid, recs := range outputs {
+		fmt.Printf("output vertex %d: %d records\n", vid, len(recs))
+		show := recs
+		sort.Slice(show, func(i, j int) bool {
+			return fmt.Sprint(show[i].Key) < fmt.Sprint(show[j].Key)
+		})
+		for i := 0; i < *sample && i < len(show); i++ {
+			fmt.Printf("  %v\n", summarize(show[i]))
+		}
+	}
+}
+
+// clone rebuilds the pipeline (plans mutate vertex state, so the run gets
+// a fresh graph).
+func clone(p *dataflow.Pipeline, workload string) *dataflow.Pipeline {
+	switch workload {
+	case "mlr":
+		cfg := workloads.DefaultMLRConfig()
+		cfg.Partitions, cfg.SamplesPerPart = 16, 40
+		return workloads.MLR(cfg)
+	case "als":
+		cfg := workloads.DefaultALSConfig()
+		cfg.Partitions, cfg.RatingsPerPart = 16, 600
+		return workloads.ALS(cfg)
+	default:
+		cfg := workloads.DefaultMRConfig()
+		cfg.Partitions, cfg.LinesPerPart = 16, 2000
+		return workloads.MR(cfg)
+	}
+}
+
+func summarize(r data.Record) string {
+	if v, ok := r.Value.([]float64); ok && len(v) > 4 {
+		return fmt.Sprintf("(%v, [%.3f %.3f ... %d values])", r.Key, v[0], v[1], len(v))
+	}
+	return r.String()
+}
+
+func printPlan(plan *core.Plan) {
+	g := plan.Graph
+	fmt.Println("operator placement (Algorithm 1):")
+	order, _ := g.TopoSort()
+	for _, id := range order {
+		v := g.Vertex(id)
+		fmt.Printf("  %-28s %-10s parallelism=%d\n", v.Name, v.Placement, v.Parallelism)
+	}
+	fmt.Println("stages (Algorithm 2):")
+	for _, ps := range plan.Stages {
+		kind := "reserved-root"
+		if !ps.RootReserved {
+			kind = "terminal-transient"
+		}
+		fmt.Printf("  stage %d: root=%s (%s, %d tasks), %d fragment(s), %d cross-stage input(s)\n",
+			ps.ID, g.Vertex(ps.Root).Name, kind, ps.RootParallelism, len(ps.Fragments), len(ps.Inputs))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

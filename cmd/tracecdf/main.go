@@ -1,0 +1,61 @@
+// Command tracecdf regenerates the paper's trace analysis: Figure 1
+// (lifetime CDFs per safety margin), Table 1 (lifetime percentiles), and
+// Table 2 (collected idle memory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pado/internal/trace"
+)
+
+func main() {
+	full := flag.Bool("cdf", true, "print the Figure 1 CDF series")
+	flag.Parse()
+
+	u := trace.CanonicalUsage()
+	margins := []struct {
+		name string
+		m    trace.SafetyMargin
+	}{
+		{"0.1%", trace.MarginAggressive},
+		{"1%", trace.MarginModerate},
+		{"5%", trace.MarginCautious},
+	}
+
+	fmt.Println("Table 1: transient container lifetime percentiles (minutes)")
+	fmt.Printf("%-16s %8s %8s %8s\n", "Safety Margin", "p10", "p50", "p90")
+	dists := make([]*trace.LifetimeDist, len(margins))
+	for i, mg := range margins {
+		dists[i] = trace.NewLifetimeDist(u.Lifetimes(mg.m))
+		fmt.Printf("%-16s %8.0f %8.0f %8.0f\n", mg.name,
+			dists[i].Percentile(10), dists[i].Percentile(50), dists[i].Percentile(90))
+	}
+
+	fmt.Println()
+	fmt.Println("Table 2: collected idle memory (% of memory allocated to LC jobs)")
+	fmt.Printf("%-16s %10s\n", "Safety Margin", "Collected")
+	fmt.Printf("%-16s %9.1f%%\n", "baseline", u.CollectedMemory(-1)*100)
+	for _, mg := range margins {
+		fmt.Printf("%-16s %9.1f%%\n", mg.name, u.CollectedMemory(mg.m)*100)
+	}
+
+	if *full {
+		fmt.Println()
+		fmt.Println("Figure 1: CDF of transient container lifetimes (%), 0..60 minutes")
+		xs := make([]float64, 61)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		fmt.Printf("%-8s %14s %14s %14s\n", "minutes", "high(0.1%)", "medium(1%)", "low(5%)")
+		high := dists[0].CDF(xs)
+		med := dists[1].CDF(xs)
+		low := dists[2].CDF(xs)
+		for i := range xs {
+			fmt.Printf("%-8.0f %13.1f%% %13.1f%% %13.1f%%\n", xs[i], high[i]*100, med[i]*100, low[i]*100)
+		}
+	}
+	os.Exit(0)
+}

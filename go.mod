@@ -1,0 +1,3 @@
+module pado
+
+go 1.22

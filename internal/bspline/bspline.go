@@ -1,0 +1,72 @@
+// Package bspline implements uniform cubic B-spline curve evaluation.
+//
+// The paper refines the Google trace's 5-minute memory-usage records into
+// 1-minute records by B-spline curve fitting (§2.1, citing de Boor). This
+// package provides the same refinement: treat the coarse samples as
+// control points of a uniform cubic B-spline and evaluate the curve at a
+// finer parameter step.
+package bspline
+
+// basis evaluates the four cubic B-spline basis functions at local
+// parameter t in [0,1).
+func basis(t float64) (b0, b1, b2, b3 float64) {
+	u := 1 - t
+	b0 = u * u * u / 6
+	b1 = (3*t*t*t - 6*t*t + 4) / 6
+	b2 = (-3*t*t*t + 3*t*t + 3*t + 1) / 6
+	b3 = t * t * t / 6
+	return
+}
+
+// Eval evaluates the clamped uniform cubic B-spline defined by the control
+// points at parameter x in [0, len(points)-1]. Endpoints are clamped by
+// repeating the first and last control points, so the curve interpolates
+// them approximately.
+func Eval(points []float64, x float64) float64 {
+	n := len(points)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return points[0]
+	}
+	if x <= 0 {
+		x = 0
+	}
+	if x >= float64(n-1) {
+		x = float64(n - 1)
+	}
+	seg := int(x)
+	if seg >= n-1 {
+		seg = n - 2
+	}
+	t := x - float64(seg)
+	p := func(i int) float64 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return points[i]
+	}
+	b0, b1, b2, b3 := basis(t)
+	return b0*p(seg-1) + b1*p(seg) + b2*p(seg+1) + b3*p(seg+2)
+}
+
+// Refine evaluates the spline at factor points per original interval,
+// returning (len(points)-1)*factor+1 samples. Refine(s, 5) turns 5-minute
+// samples into 1-minute samples.
+func Refine(points []float64, factor int) []float64 {
+	if factor <= 1 || len(points) < 2 {
+		out := make([]float64, len(points))
+		copy(out, points)
+		return out
+	}
+	n := (len(points)-1)*factor + 1
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = Eval(points, float64(i)/float64(factor))
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package bspline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalDegenerate(t *testing.T) {
+	if got := Eval(nil, 0.5); got != 0 {
+		t.Errorf("empty spline = %v", got)
+	}
+	if got := Eval([]float64{7}, 3); got != 7 {
+		t.Errorf("single point = %v, want 7", got)
+	}
+}
+
+func TestEvalConstantSeries(t *testing.T) {
+	pts := []float64{5, 5, 5, 5, 5}
+	for x := 0.0; x <= 4; x += 0.25 {
+		if got := Eval(pts, x); math.Abs(got-5) > 1e-12 {
+			t.Errorf("Eval(const, %v) = %v, want 5", x, got)
+		}
+	}
+}
+
+func TestEvalLinearSeries(t *testing.T) {
+	// A cubic B-spline reproduces linear control polygons exactly in
+	// the interior.
+	pts := []float64{0, 1, 2, 3, 4, 5}
+	for x := 1.0; x <= 4; x += 0.5 {
+		if got := Eval(pts, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("Eval(linear, %v) = %v", x, got)
+		}
+	}
+}
+
+func TestEvalClampsRange(t *testing.T) {
+	pts := []float64{1, 2, 3}
+	if Eval(pts, -10) != Eval(pts, 0) {
+		t.Error("x below range should clamp to 0")
+	}
+	if Eval(pts, 10) != Eval(pts, 2) {
+		t.Error("x above range should clamp to end")
+	}
+}
+
+func TestRefineLength(t *testing.T) {
+	for _, tc := range []struct {
+		n, factor, want int
+	}{
+		{10, 5, 46},
+		{2, 5, 6},
+		{5, 1, 5},
+		{1, 5, 1},
+	} {
+		out := Refine(make([]float64, tc.n), tc.factor)
+		if len(out) != tc.want {
+			t.Errorf("Refine(%d pts, %d) len = %d, want %d", tc.n, tc.factor, len(out), tc.want)
+		}
+	}
+}
+
+func TestRefineWithinConvexHull(t *testing.T) {
+	// B-spline curves stay inside the convex hull of their control
+	// points.
+	check := func(pts []float64) bool {
+		if len(pts) < 2 {
+			return true
+		}
+		lo, hi := pts[0], pts[0]
+		for _, p := range pts {
+			lo, hi = math.Min(lo, p), math.Max(hi, p)
+		}
+		for _, v := range Refine(pts, 4) {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(raw []float64) bool {
+		pts := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				pts = append(pts, v)
+			}
+		}
+		return check(pts)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefineSmoothsJitter(t *testing.T) {
+	// Smoothing property: total variation of the refined curve never
+	// exceeds that of the control polygon by more than epsilon.
+	pts := []float64{0, 1, 0, 1, 0, 1, 0, 1}
+	tv := func(s []float64) float64 {
+		var v float64
+		for i := 1; i < len(s); i++ {
+			v += math.Abs(s[i] - s[i-1])
+		}
+		return v
+	}
+	if got, want := tv(Refine(pts, 5)), tv(pts); got > want+1e-9 {
+		t.Errorf("refined total variation %v exceeds control polygon %v", got, want)
+	}
+}

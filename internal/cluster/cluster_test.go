@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pado/internal/trace"
+	"pado/internal/vtime"
+)
+
+// recorder collects lifecycle callbacks.
+type recorder struct {
+	mu       sync.Mutex
+	launched []*Container
+	evicted  []*Container
+	failed   []*Container
+}
+
+func (r *recorder) ContainerLaunched(c *Container) {
+	r.mu.Lock()
+	r.launched = append(r.launched, c)
+	r.mu.Unlock()
+}
+func (r *recorder) ContainerEvicted(c *Container) {
+	r.mu.Lock()
+	r.evicted = append(r.evicted, c)
+	r.mu.Unlock()
+}
+func (r *recorder) ContainerFailed(c *Container) {
+	r.mu.Lock()
+	r.failed = append(r.failed, c)
+	r.mu.Unlock()
+}
+
+func (r *recorder) counts() (int, int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.launched), len(r.evicted), len(r.failed)
+}
+
+func TestClusterStartAllocatesContainers(t *testing.T) {
+	cl, err := New(Config{Transient: 3, Reserved: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	var rec recorder
+	if err := cl.Start(&rec); err != nil {
+		t.Fatal(err)
+	}
+	l, e, f := rec.counts()
+	if l != 5 || e != 0 || f != 0 {
+		t.Fatalf("callbacks = %d/%d/%d", l, e, f)
+	}
+	if got := len(cl.Containers(Transient)); got != 3 {
+		t.Errorf("transient = %d", got)
+	}
+	if got := len(cl.Containers(Reserved)); got != 2 {
+		t.Errorf("reserved = %d", got)
+	}
+	if cl.MasterNode() == nil || cl.MasterNode().ID() != "master" {
+		t.Error("missing master node")
+	}
+	if cl.TransientConfigured() != 3 {
+		t.Error("TransientConfigured wrong")
+	}
+	if err := cl.Start(&rec); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestClusterRequiresReserved(t *testing.T) {
+	if _, err := New(Config{Transient: 1, Reserved: 0}); err == nil {
+		t.Error("expected error without reserved containers")
+	}
+}
+
+func TestEvictionAndReplacement(t *testing.T) {
+	cl, err := New(Config{Transient: 2, Reserved: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	var rec recorder
+	cl.Start(&rec)
+
+	victim := cl.Containers(Transient)[0]
+	if err := cl.EvictNow(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Node.Closed() {
+		t.Error("evicted container's node still up")
+	}
+	l, e, _ := rec.counts()
+	if e != 1 {
+		t.Errorf("evictions = %d", e)
+	}
+	if l != 4 { // 3 initial + 1 replacement
+		t.Errorf("launches = %d, want 4", l)
+	}
+	if got := len(cl.Containers(Transient)); got != 2 {
+		t.Errorf("transient after replacement = %d", got)
+	}
+	if cl.Evictions() != 1 {
+		t.Errorf("Evictions() = %d", cl.Evictions())
+	}
+	// Evicting an unknown or reserved container fails.
+	if err := cl.EvictNow("nope"); err == nil {
+		t.Error("evicting unknown container should fail")
+	}
+	if err := cl.EvictNow(cl.Containers(Reserved)[0].ID); err == nil {
+		t.Error("evicting reserved container should fail")
+	}
+}
+
+func TestFailReserved(t *testing.T) {
+	cl, err := New(Config{Transient: 1, Reserved: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	var rec recorder
+	cl.Start(&rec)
+
+	victim := cl.Containers(Reserved)[0]
+	if err := cl.FailReserved(victim.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	_, _, f := rec.counts()
+	if f != 1 {
+		t.Errorf("failures = %d", f)
+	}
+	if got := len(cl.Containers(Reserved)); got != 2 {
+		t.Errorf("reserved after replacement = %d", got)
+	}
+	if err := cl.FailReserved(cl.Containers(Transient)[0].ID, false); err == nil {
+		t.Error("failing a transient container should error")
+	}
+}
+
+func TestAutomaticEvictionsFromLifetimes(t *testing.T) {
+	cl, err := New(Config{
+		Transient:   4,
+		Reserved:    1,
+		Lifetimes:   trace.Lifetimes(trace.RateHigh),
+		Scale:       vtime.NewScale(10 * time.Millisecond),
+		MinLifetime: 5 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec recorder
+	cl.Start(&rec)
+	deadline := time.After(5 * time.Second)
+	for {
+		if cl.Evictions() >= 4 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d evictions after 5s", cl.Evictions())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cl.Stop()
+	if got := len(cl.Containers(Transient)); got != 0 {
+		t.Errorf("containers after Stop = %d", got)
+	}
+}
+
+func TestNoEvictionsWithoutLifetimes(t *testing.T) {
+	cl, _ := New(Config{Transient: 2, Reserved: 1, Seed: 1})
+	var rec recorder
+	cl.Start(&rec)
+	time.Sleep(50 * time.Millisecond)
+	if cl.Evictions() != 0 {
+		t.Errorf("unexpected evictions: %d", cl.Evictions())
+	}
+	cl.Stop()
+}
+
+func TestCPULimiterConfigured(t *testing.T) {
+	cl, _ := New(Config{Transient: 1, Reserved: 1, CPURecordsPerSec: 1000, Seed: 1})
+	defer cl.Stop()
+	var rec recorder
+	cl.Start(&rec)
+	for _, c := range cl.Containers(Transient) {
+		if c.CPU == nil {
+			t.Error("transient container missing CPU limiter")
+		}
+	}
+	cl2, _ := New(Config{Transient: 1, Reserved: 1, Seed: 1})
+	defer cl2.Stop()
+	cl2.Start(&rec)
+	for _, c := range cl2.Containers(Transient) {
+		if c.CPU != nil {
+			t.Error("CPU limiter present without configuration")
+		}
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	cl, _ := New(Config{Transient: 1, Reserved: 1, Seed: 1})
+	var rec recorder
+	cl.Start(&rec)
+	cl.Stop()
+	cl.Stop()
+	if err := cl.EvictNow("t1"); err == nil {
+		t.Error("eviction after Stop should fail")
+	}
+}

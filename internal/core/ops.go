@@ -1,0 +1,25 @@
+package core
+
+import (
+	"pado/internal/dag"
+	"pado/internal/dataflow"
+)
+
+// inputCached decides whether a cross-stage fetch should go through the
+// executor's task input cache, based on the consuming operator's caching
+// hints (paper §3.2.7).
+func inputCached(g *dag.Graph, to dag.VertexID, e dag.Edge) bool {
+	op, ok := g.Vertex(to).Op.(*dataflow.ParDoOp)
+	if !ok {
+		return false
+	}
+	if e.Tag == "" {
+		return op.CacheInput
+	}
+	for _, s := range op.Sides {
+		if s.Name == e.Tag {
+			return s.Cached
+		}
+	}
+	return false
+}

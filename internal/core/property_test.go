@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+)
+
+// randomPipeline builds a random but well-formed pipeline: sources feed
+// chains of ParDo/CombinePerKey/CombineGlobally with occasional side
+// inputs, mirroring the DAG shapes the compiler must handle.
+func randomPipeline(rng *rand.Rand) *dataflow.Pipeline {
+	kv := data.KVCoder{K: data.StringCoder, V: data.Int64Coder}
+	p := dataflow.NewPipeline()
+	var cols []dataflow.Collection
+	// A mix of read and created sources.
+	nSrc := 1 + rng.Intn(3)
+	for i := 0; i < nSrc; i++ {
+		if rng.Intn(3) == 0 {
+			cols = append(cols, p.Create("create", []data.Record{{Value: int64(i)}}, kv))
+		} else {
+			cols = append(cols, p.Read("read", &dataflow.FuncSource{Partitions: 1 + rng.Intn(6)}, kv))
+		}
+	}
+	nOps := 2 + rng.Intn(10)
+	for i := 0; i < nOps; i++ {
+		from := cols[rng.Intn(len(cols))]
+		switch rng.Intn(4) {
+		case 0, 1:
+			opts := []dataflow.ParDoOpt{}
+			// Side inputs only from keyed-combine outputs (reserved
+			// providers, as in the real workloads).
+			if rng.Intn(3) == 0 {
+				side := cols[rng.Intn(len(cols))]
+				// Avoid self side input.
+				if side.VertexID() != from.VertexID() {
+					opts = append(opts, dataflow.WithSide(dataflow.SideInput{Name: "s", From: side}))
+				}
+			}
+			cols = append(cols, from.ParDo("pardo",
+				dataflow.MapFunc(func(r data.Record) data.Record { return r }), kv, opts...))
+		case 2:
+			cols = append(cols, from.CombinePerKey("combine", dataflow.SumInt64Fn{}, kv))
+		case 3:
+			cols = append(cols, from.CombineGlobally("global", dataflow.SumInt64Fn{}, kv))
+		}
+	}
+	return p
+}
+
+// TestPlacementInvariants checks Algorithm 1's postconditions on random
+// DAGs: every vertex is placed; wide-edge consumers are reserved;
+// transient computational vertices have at least one input that is not
+// one-to-one-from-reserved; created sources are reserved, read sources
+// transient.
+func TestPlacementInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170423))
+	for trial := 0; trial < 200; trial++ {
+		g := randomPipeline(rng).Graph()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid pipeline: %v", trial, err)
+		}
+		if err := Place(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, v := range g.Vertices() {
+			in := g.InEdges(v.ID)
+			switch {
+			case v.Placement == dag.PlaceNone:
+				t.Fatalf("trial %d: vertex %q unplaced", trial, v.Name)
+			case len(in) == 0:
+				want := dag.PlaceTransient
+				if v.Kind == dag.KindSourceCreate {
+					want = dag.PlaceReserved
+				}
+				if v.Placement != want {
+					t.Fatalf("trial %d: source %v placed %v", trial, v.Kind, v.Placement)
+				}
+			default:
+				anyWide := false
+				allOOFromReserved := true
+				for _, e := range in {
+					if e.Dep.Wide() {
+						anyWide = true
+					}
+					if e.Dep != dag.OneToOne || g.Vertex(e.From).Placement != dag.PlaceReserved {
+						allOOFromReserved = false
+					}
+				}
+				want := dag.PlaceTransient
+				if anyWide || allOOFromReserved {
+					want = dag.PlaceReserved
+				}
+				if v.Placement != want {
+					t.Fatalf("trial %d: vertex %q placed %v, want %v", trial, v.Name, v.Placement, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitioningInvariants checks Algorithm 2's postconditions on
+// random DAGs: every vertex appears in at least one stage; each stage
+// has exactly one root; roots are reserved or sinks; all non-root ops in
+// a stage are transient; stage parent ids are smaller (topological).
+func TestPartitioningInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		g := randomPipeline(rng).Graph()
+		if err := Place(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		stages, err := PartitionStages(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		covered := map[dag.VertexID]bool{}
+		for _, s := range stages {
+			root := g.Vertex(s.Root)
+			if root.Placement != dag.PlaceReserved && len(g.OutEdges(s.Root)) != 0 {
+				t.Fatalf("trial %d: stage %d root %q neither reserved nor sink", trial, s.ID, root.Name)
+			}
+			if s.Ops[len(s.Ops)-1] != s.Root {
+				t.Fatalf("trial %d: stage %d root not last in Ops", trial, s.ID)
+			}
+			for _, op := range s.Ops {
+				covered[op] = true
+				if op != s.Root && g.Vertex(op).Placement != dag.PlaceTransient {
+					t.Fatalf("trial %d: stage %d contains non-root reserved op %q",
+						trial, s.ID, g.Vertex(op).Name)
+				}
+			}
+			for _, pid := range s.Parents {
+				if pid >= s.ID {
+					t.Fatalf("trial %d: stage %d has parent %d", trial, s.ID, pid)
+				}
+			}
+		}
+		for _, v := range g.Vertices() {
+			if !covered[v.ID] {
+				t.Fatalf("trial %d: vertex %q in no stage", trial, v.Name)
+			}
+		}
+	}
+}
+
+// TestPlanInvariants checks the physical plan on random DAGs: fragment
+// parallelism is uniform, boundary sources are in the fragment, and
+// cross-stage inputs reference reserved roots of earlier stages.
+func TestPlanInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 0
+	for trials < 150 {
+		g := randomPipeline(rng).Graph()
+		plan, err := Compile(g, PlanConfig{ReduceParallelism: 3})
+		if err != nil {
+			// Some random DAGs are legitimately rejected (e.g. mismatched
+			// one-to-one parallelism after a reduce); skip those.
+			continue
+		}
+		trials++
+		for _, ps := range plan.Stages {
+			for _, f := range ps.Fragments {
+				if f.Parallelism <= 0 {
+					t.Fatalf("fragment with parallelism %d", f.Parallelism)
+				}
+				for _, op := range f.Ops {
+					if g.Vertex(op).Parallelism != f.Parallelism {
+						t.Fatal("fragment mixes parallelism")
+					}
+				}
+				for _, b := range f.Boundaries {
+					if !f.Contains(b.From) {
+						t.Fatal("boundary source outside fragment")
+					}
+				}
+			}
+			for _, si := range ps.Inputs {
+				if si.FromStage >= ps.ID {
+					t.Fatalf("stage %d input from non-ancestor %d", ps.ID, si.FromStage)
+				}
+				from := plan.Stages[si.FromStage]
+				if from.Root != si.FromVertex {
+					t.Fatal("cross-stage input not from a stage root")
+				}
+				if !from.RootReserved {
+					t.Fatal("cross-stage input from a non-reserved root")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package dag implements the logical DAG representation consumed by the
+// Pado compiler.
+//
+// Each vertex is an operator; each edge carries one of the paper's four
+// dependency types (§2.2): one-to-one, one-to-many, many-to-one, and
+// many-to-many. The compiler in internal/core annotates vertices with a
+// placement (transient or reserved) and partitions the graph into stages.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DepType is the dependency type of an edge between two operators.
+type DepType uint8
+
+// The four dependency types of §2.2.
+const (
+	OneToOne DepType = iota
+	OneToMany
+	ManyToOne
+	ManyToMany
+)
+
+// String implements fmt.Stringer.
+func (d DepType) String() string {
+	switch d {
+	case OneToOne:
+		return "one-to-one"
+	case OneToMany:
+		return "one-to-many"
+	case ManyToOne:
+		return "many-to-one"
+	case ManyToMany:
+		return "many-to-many"
+	default:
+		return fmt.Sprintf("DepType(%d)", uint8(d))
+	}
+}
+
+// Wide reports whether the dependency gathers outputs of many parent
+// tasks into a child task (the recomputation-amplifying kinds).
+func (d DepType) Wide() bool { return d == ManyToOne || d == ManyToMany }
+
+// Placement is where the compiler decided an operator's tasks run.
+type Placement uint8
+
+// Placement values. PlaceNone marks an unplaced vertex.
+const (
+	PlaceNone Placement = iota
+	PlaceTransient
+	PlaceReserved
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceNone:
+		return "unplaced"
+	case PlaceTransient:
+		return "transient"
+	case PlaceReserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("Placement(%d)", uint8(p))
+	}
+}
+
+// VertexKind distinguishes source operators from computational ones, which
+// Algorithm 1 treats differently.
+type VertexKind uint8
+
+// Vertex kinds.
+const (
+	// KindCompute is an operator with at least one input edge.
+	KindCompute VertexKind = iota
+	// KindSourceRead reads its input from external storage (ISREAD).
+	KindSourceRead
+	// KindSourceCreate creates its data in memory (ISCREATED).
+	KindSourceCreate
+)
+
+// String implements fmt.Stringer.
+func (k VertexKind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSourceRead:
+		return "source-read"
+	case KindSourceCreate:
+		return "source-create"
+	default:
+		return fmt.Sprintf("VertexKind(%d)", uint8(k))
+	}
+}
+
+// VertexID identifies a vertex within one Graph.
+type VertexID int
+
+// Vertex is an operator in the logical DAG. Op carries the engine-level
+// payload (a dataflow operator); the dag package never inspects it.
+type Vertex struct {
+	ID        VertexID
+	Name      string
+	Kind      VertexKind
+	Placement Placement
+	// Parallelism is the number of parallel tasks the operator expands
+	// into; 0 until the physical planner resolves it.
+	Parallelism int
+	// Op is the operator payload attached by the dataflow layer.
+	Op any
+}
+
+// Edge is a typed dependency from one operator to another. Tag names the
+// input on the consuming side (e.g. a side-input name); the main input has
+// an empty tag.
+type Edge struct {
+	From VertexID
+	To   VertexID
+	Dep  DepType
+	Tag  string
+}
+
+// Graph is a mutable logical DAG. The zero value is empty and ready to
+// use.
+type Graph struct {
+	vertices []*Vertex
+	edges    []Edge
+	out      map[VertexID][]int // vertex -> indices into edges
+	in       map[VertexID][]int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		out: make(map[VertexID][]int),
+		in:  make(map[VertexID][]int),
+	}
+}
+
+// AddVertex adds an operator and returns its id.
+func (g *Graph) AddVertex(name string, kind VertexKind, op any) VertexID {
+	id := VertexID(len(g.vertices))
+	g.vertices = append(g.vertices, &Vertex{ID: id, Name: name, Kind: kind, Op: op})
+	return id
+}
+
+// AddEdge adds a typed dependency. It panics on a dangling endpoint, which
+// is always a programming error in the pipeline builder.
+func (g *Graph) AddEdge(from, to VertexID, dep DepType, tag string) {
+	if !g.valid(from) || !g.valid(to) {
+		panic(fmt.Sprintf("dag: edge %d->%d references unknown vertex", from, to))
+	}
+	if from == to {
+		panic(fmt.Sprintf("dag: self-edge on vertex %d", from))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{From: from, To: to, Dep: dep, Tag: tag})
+	g.out[from] = append(g.out[from], idx)
+	g.in[to] = append(g.in[to], idx)
+}
+
+func (g *Graph) valid(id VertexID) bool { return id >= 0 && int(id) < len(g.vertices) }
+
+// Vertex returns the vertex with the given id.
+func (g *Graph) Vertex(id VertexID) *Vertex {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.vertices[id]
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// Vertices returns all vertices in id order.
+func (g *Graph) Vertices() []*Vertex {
+	out := make([]*Vertex, len(g.vertices))
+	copy(out, g.vertices)
+	return out
+}
+
+// Edges returns a copy of all edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// InEdges returns the edges arriving at v in insertion order.
+func (g *Graph) InEdges(v VertexID) []Edge {
+	idxs := g.in[v]
+	out := make([]Edge, len(idxs))
+	for i, idx := range idxs {
+		out[i] = g.edges[idx]
+	}
+	return out
+}
+
+// OutEdges returns the edges leaving v in insertion order.
+func (g *Graph) OutEdges(v VertexID) []Edge {
+	idxs := g.out[v]
+	out := make([]Edge, len(idxs))
+	for i, idx := range idxs {
+		out[i] = g.edges[idx]
+	}
+	return out
+}
+
+// Parents returns the distinct parent vertex ids of v in edge order.
+func (g *Graph) Parents(v VertexID) []VertexID {
+	seen := make(map[VertexID]bool)
+	var out []VertexID
+	for _, e := range g.InEdges(v) {
+		if !seen[e.From] {
+			seen[e.From] = true
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Children returns the distinct child vertex ids of v in edge order.
+func (g *Graph) Children(v VertexID) []VertexID {
+	seen := make(map[VertexID]bool)
+	var out []VertexID
+	for _, e := range g.OutEdges(v) {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Sources returns vertices with no incoming edges, in id order.
+func (g *Graph) Sources() []VertexID {
+	var out []VertexID
+	for _, v := range g.vertices {
+		if len(g.in[v.ID]) == 0 {
+			out = append(out, v.ID)
+		}
+	}
+	return out
+}
+
+// Sinks returns vertices with no outgoing edges, in id order.
+func (g *Graph) Sinks() []VertexID {
+	var out []VertexID
+	for _, v := range g.vertices {
+		if len(g.out[v.ID]) == 0 {
+			out = append(out, v.ID)
+		}
+	}
+	return out
+}
+
+// TopoSort returns the vertex ids in a deterministic topological order
+// (Kahn's algorithm, ties broken by smallest id). It returns an error if
+// the graph has a cycle.
+func (g *Graph) TopoSort() ([]VertexID, error) {
+	// Indegree counts distinct parents, not edges: a parent may be
+	// connected by several edges (e.g. main input plus a side input)
+	// but is visited once.
+	indeg := make(map[VertexID]int, len(g.vertices))
+	for _, v := range g.vertices {
+		indeg[v.ID] = len(g.Parents(v.ID))
+	}
+	var frontier []VertexID
+	for _, v := range g.vertices {
+		if indeg[v.ID] == 0 {
+			frontier = append(frontier, v.ID)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+
+	order := make([]VertexID, 0, len(g.vertices))
+	for len(frontier) > 0 {
+		// Pop the smallest id for determinism.
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for _, c := range g.Children(v) {
+			indeg[c]--
+			if indeg[c] == 0 {
+				// Insert keeping the frontier sorted.
+				pos := sort.Search(len(frontier), func(i int) bool { return frontier[i] >= c })
+				frontier = append(frontier, 0)
+				copy(frontier[pos+1:], frontier[pos:])
+				frontier[pos] = c
+			}
+		}
+	}
+	if len(order) != len(g.vertices) {
+		return nil, fmt.Errorf("dag: graph has a cycle (%d of %d vertices ordered)", len(order), len(g.vertices))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: acyclicity and that every
+// compute vertex has at least one input while sources have none.
+func (g *Graph) Validate() error {
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	for _, v := range g.vertices {
+		nin := len(g.in[v.ID])
+		switch v.Kind {
+		case KindCompute:
+			if nin == 0 {
+				return fmt.Errorf("dag: compute vertex %q has no inputs", v.Name)
+			}
+		case KindSourceRead, KindSourceCreate:
+			if nin != 0 {
+				return fmt.Errorf("dag: source vertex %q has %d inputs", v.Name, nin)
+			}
+		}
+	}
+	return nil
+}
+
+// DOT renders the graph in Graphviz format, coloring vertices by
+// placement. Useful for debugging compilation results.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph pado {\n  rankdir=LR;\n")
+	for _, v := range g.vertices {
+		color := "gray"
+		switch v.Placement {
+		case PlaceTransient:
+			color = "lightblue"
+		case PlaceReserved:
+			color = "salmon"
+		}
+		fmt.Fprintf(&b, "  v%d [label=%q style=filled fillcolor=%s];\n", v.ID, v.Name, color)
+	}
+	for _, e := range g.edges {
+		style := "solid"
+		if e.Dep.Wide() {
+			style = "bold"
+		}
+		fmt.Fprintf(&b, "  v%d -> v%d [label=%q style=%s];\n", e.From, e.To, e.Dep.String(), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func diamond() (*Graph, []VertexID) {
+	g := New()
+	a := g.AddVertex("a", KindSourceRead, nil)
+	b := g.AddVertex("b", KindCompute, nil)
+	c := g.AddVertex("c", KindCompute, nil)
+	d := g.AddVertex("d", KindCompute, nil)
+	g.AddEdge(a, b, OneToOne, "")
+	g.AddEdge(a, c, OneToOne, "")
+	g.AddEdge(b, d, ManyToMany, "")
+	g.AddEdge(c, d, ManyToOne, "x")
+	return g, []VertexID{a, b, c, d}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g, ids := diamond()
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[VertexID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d->%d violated by order %v", e.From, e.To, order)
+		}
+	}
+	if len(order) != len(ids) {
+		t.Errorf("order has %d vertices, want %d", len(order), len(ids))
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g, _ := diamond()
+	first, _ := g.TopoSort()
+	for i := 0; i < 10; i++ {
+		again, _ := g.TopoSort()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("non-deterministic order: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a", KindCompute, nil)
+	b := g.AddVertex("b", KindCompute, nil)
+	g.AddEdge(a, b, OneToOne, "")
+	g.AddEdge(b, a, OneToOne, "")
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("expected cycle error")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate should reject cycles")
+	}
+}
+
+// Property: random DAGs (edges only from lower to higher ids) always
+// topo-sort successfully and respect every edge.
+func TestTopoSortRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		g := New()
+		n := 2 + rng.Intn(20)
+		ids := make([]VertexID, n)
+		for i := range ids {
+			ids[i] = g.AddVertex("v", KindCompute, nil)
+		}
+		for i := 0; i < n*2; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			g.AddEdge(ids[a], ids[b], DepType(rng.Intn(4)), "")
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pos := make(map[VertexID]int)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("trial %d: edge order violated", trial)
+			}
+		}
+	}
+}
+
+func TestValidateSourceAndComputeRules(t *testing.T) {
+	g := New()
+	g.AddVertex("orphan-compute", KindCompute, nil)
+	if err := g.Validate(); err == nil {
+		t.Error("compute vertex without inputs should fail validation")
+	}
+
+	g2 := New()
+	a := g2.AddVertex("src", KindSourceRead, nil)
+	b := g2.AddVertex("src2", KindSourceCreate, nil)
+	g2.AddEdge(a, b, OneToOne, "")
+	if err := g2.Validate(); err == nil {
+		t.Error("source vertex with inputs should fail validation")
+	}
+}
+
+func TestEdgeQueries(t *testing.T) {
+	g, ids := diamond()
+	a, b, c, d := ids[0], ids[1], ids[2], ids[3]
+	if got := g.Children(a); len(got) != 2 || got[0] != b || got[1] != c {
+		t.Errorf("Children(a) = %v", got)
+	}
+	if got := g.Parents(d); len(got) != 2 {
+		t.Errorf("Parents(d) = %v", got)
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != a {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != d {
+		t.Errorf("Sinks = %v", got)
+	}
+	in := g.InEdges(d)
+	if len(in) != 2 || in[0].Dep != ManyToMany || in[1].Dep != ManyToOne || in[1].Tag != "x" {
+		t.Errorf("InEdges(d) = %v", in)
+	}
+	if g.Vertex(VertexID(99)) != nil {
+		t.Error("out-of-range vertex should be nil")
+	}
+}
+
+func TestDuplicateParentsDeduplicated(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a", KindSourceRead, nil)
+	b := g.AddVertex("b", KindCompute, nil)
+	g.AddEdge(a, b, OneToOne, "")
+	g.AddEdge(a, b, OneToMany, "side")
+	if got := g.Parents(b); len(got) != 1 {
+		t.Errorf("Parents should deduplicate, got %v", got)
+	}
+	if got := g.InEdges(b); len(got) != 2 {
+		t.Errorf("InEdges should keep both, got %v", got)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a", KindCompute, nil)
+	assertPanic(t, func() { g.AddEdge(a, VertexID(5), OneToOne, "") })
+	assertPanic(t, func() { g.AddEdge(a, a, OneToOne, "") })
+}
+
+func assertPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestDepTypeHelpers(t *testing.T) {
+	if !ManyToMany.Wide() || !ManyToOne.Wide() {
+		t.Error("many-* deps should be wide")
+	}
+	if OneToOne.Wide() || OneToMany.Wide() {
+		t.Error("one-* deps should not be wide")
+	}
+	for d := DepType(0); d < 4; d++ {
+		if strings.HasPrefix(d.String(), "DepType(") {
+			t.Errorf("missing String for %d", d)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g, ids := diamond()
+	g.Vertex(ids[3]).Placement = PlaceReserved
+	g.Vertex(ids[0]).Placement = PlaceTransient
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "salmon", "lightblue", "many-to-many"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Encoder writes primitive values in a compact varint-based wire format.
+// It buffers internally; call Flush before handing the underlying writer
+// to anyone else.
+type Encoder struct {
+	w   *bufio.Writer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	if bw, ok := w.(*bufio.Writer); ok {
+		return &Encoder{w: bw}
+	}
+	return &Encoder{w: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// Flush writes any buffered data to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// Uvarint writes an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) error {
+	n := binary.PutUvarint(e.tmp[:], v)
+	_, err := e.w.Write(e.tmp[:n])
+	return err
+}
+
+// Varint writes a signed varint.
+func (e *Encoder) Varint(v int64) error {
+	n := binary.PutVarint(e.tmp[:], v)
+	_, err := e.w.Write(e.tmp[:n])
+	return err
+}
+
+// Float64 writes an IEEE-754 double.
+func (e *Encoder) Float64(v float64) error {
+	binary.LittleEndian.PutUint64(e.tmp[:8], math.Float64bits(v))
+	_, err := e.w.Write(e.tmp[:8])
+	return err
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (e *Encoder) Bytes(b []byte) error {
+	if err := e.Uvarint(uint64(len(b))); err != nil {
+		return err
+	}
+	_, err := e.w.Write(b)
+	return err
+}
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) error {
+	if err := e.Uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := e.w.WriteString(s)
+	return err
+}
+
+// Byte writes a single byte.
+func (e *Encoder) Byte(b byte) error { return e.w.WriteByte(b) }
+
+// Float64s writes a length-prefixed slice of doubles.
+func (e *Encoder) Float64s(v []float64) error {
+	if err := e.Uvarint(uint64(len(v))); err != nil {
+		return err
+	}
+	for _, f := range v {
+		if err := e.Float64(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decoder reads values produced by Encoder.
+type Decoder struct {
+	r   *bufio.Reader
+	tmp [8]byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &Decoder{r: br}
+	}
+	return &Decoder{r: bufio.NewReaderSize(r, 16<<10)}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) { return binary.ReadUvarint(d.r) }
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() (int64, error) { return binary.ReadVarint(d.r) }
+
+// Float64 reads a double.
+func (d *Decoder) Float64() (float64, error) {
+	if _, err := io.ReadFull(d.r, d.tmp[:8]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(d.tmp[:8])), nil
+}
+
+// Byte reads a single byte.
+func (d *Decoder) Byte() (byte, error) { return d.r.ReadByte() }
+
+// Bytes reads a length-prefixed byte slice. maxLen guards against corrupt
+// streams; pass 0 for the 1GiB default.
+func (d *Decoder) Bytes(maxLen int) ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	limit := uint64(maxLen)
+	if limit == 0 {
+		limit = 1 << 30
+	}
+	if n > limit {
+		return nil, fmt.Errorf("data: length %d exceeds limit %d", n, limit)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes(0)
+	return string(b), err
+}
+
+// Float64s reads a length-prefixed slice of doubles.
+func (d *Decoder) Float64s() ([]float64, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<27 {
+		return nil, fmt.Errorf("data: float64 slice length %d too large", n)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		if v[i], err = d.Float64(); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}

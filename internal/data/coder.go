@@ -1,0 +1,175 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Coder serializes whole records. Engines use the coder attached to each
+// collection to encode task outputs for transfer and decode them on the
+// receiving side.
+type Coder interface {
+	// Name identifies the coder for diagnostics.
+	Name() string
+	EncodeRecord(e *Encoder, r Record) error
+	DecodeRecord(d *Decoder) (Record, error)
+}
+
+// ValueCoder serializes one component (key or value) of a record.
+type ValueCoder interface {
+	Name() string
+	EncodeValue(e *Encoder, v any) error
+	DecodeValue(d *Decoder) (any, error)
+}
+
+// KVCoder combines a key coder and a value coder into a record coder.
+type KVCoder struct {
+	K ValueCoder
+	V ValueCoder
+}
+
+// Name implements Coder.
+func (c KVCoder) Name() string { return fmt.Sprintf("kv<%s,%s>", c.K.Name(), c.V.Name()) }
+
+// EncodeRecord implements Coder.
+func (c KVCoder) EncodeRecord(e *Encoder, r Record) error {
+	if err := c.K.EncodeValue(e, r.Key); err != nil {
+		return err
+	}
+	return c.V.EncodeValue(e, r.Value)
+}
+
+// DecodeRecord implements Coder.
+func (c KVCoder) DecodeRecord(d *Decoder) (Record, error) {
+	k, err := c.K.DecodeValue(d)
+	if err != nil {
+		return Record{}, err
+	}
+	v, err := c.V.DecodeValue(d)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Key: k, Value: v}, nil
+}
+
+// Built-in value coders. Each is a stateless singleton.
+var (
+	StringCoder   ValueCoder = stringCoder{}
+	Int64Coder    ValueCoder = int64Coder{}
+	Float64Coder  ValueCoder = float64Coder{}
+	Float64sCoder ValueCoder = float64sCoder{}
+	BytesCoder    ValueCoder = bytesCoder{}
+	NilCoder      ValueCoder = nilCoder{}
+)
+
+type stringCoder struct{}
+
+func (stringCoder) Name() string { return "string" }
+func (stringCoder) EncodeValue(e *Encoder, v any) error {
+	s, ok := v.(string)
+	if !ok {
+		return typeErr("string", v)
+	}
+	return e.String(s)
+}
+func (stringCoder) DecodeValue(d *Decoder) (any, error) { return d.String() }
+
+type int64Coder struct{}
+
+func (int64Coder) Name() string { return "int64" }
+func (int64Coder) EncodeValue(e *Encoder, v any) error {
+	switch n := v.(type) {
+	case int64:
+		return e.Varint(n)
+	case int:
+		return e.Varint(int64(n))
+	default:
+		return typeErr("int64", v)
+	}
+}
+func (int64Coder) DecodeValue(d *Decoder) (any, error) { return d.Varint() }
+
+type float64Coder struct{}
+
+func (float64Coder) Name() string { return "float64" }
+func (float64Coder) EncodeValue(e *Encoder, v any) error {
+	f, ok := v.(float64)
+	if !ok {
+		return typeErr("float64", v)
+	}
+	return e.Float64(f)
+}
+func (float64Coder) DecodeValue(d *Decoder) (any, error) { return d.Float64() }
+
+type float64sCoder struct{}
+
+func (float64sCoder) Name() string { return "[]float64" }
+func (float64sCoder) EncodeValue(e *Encoder, v any) error {
+	f, ok := v.([]float64)
+	if !ok {
+		return typeErr("[]float64", v)
+	}
+	return e.Float64s(f)
+}
+func (float64sCoder) DecodeValue(d *Decoder) (any, error) { return d.Float64s() }
+
+type bytesCoder struct{}
+
+func (bytesCoder) Name() string { return "bytes" }
+func (bytesCoder) EncodeValue(e *Encoder, v any) error {
+	b, ok := v.([]byte)
+	if !ok {
+		return typeErr("[]byte", v)
+	}
+	return e.Bytes(b)
+}
+func (bytesCoder) DecodeValue(d *Decoder) (any, error) { return d.Bytes(0) }
+
+type nilCoder struct{}
+
+func (nilCoder) Name() string                      { return "nil" }
+func (nilCoder) EncodeValue(*Encoder, any) error   { return nil }
+func (nilCoder) DecodeValue(*Decoder) (any, error) { return nil, nil }
+func typeErr(want string, got any) error {
+	return fmt.Errorf("data: coder expected %s, got %T", want, got)
+}
+
+// EncodeAll encodes records into a single byte buffer: a uvarint count
+// followed by the records back to back.
+func EncodeAll(c Coder, recs []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	if err := e.Uvarint(uint64(len(recs))); err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := c.EncodeRecord(e, r); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAll decodes a buffer produced by EncodeAll.
+func DecodeAll(c Coder, b []byte) ([]Record, error) {
+	d := NewDecoder(bytes.NewReader(b))
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<30 {
+		return nil, fmt.Errorf("data: record count %d too large", n)
+	}
+	recs := make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r, err := c.DecodeRecord(d)
+		if err != nil {
+			return nil, fmt.Errorf("data: decoding record %d of %d: %w", i, n, err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, nil
+}

@@ -1,0 +1,76 @@
+// Package data defines the record model and serialization layer shared by
+// every engine in the repository.
+//
+// Records are key/value pairs. All cross-node movement (pushes, shuffle
+// pulls, checkpoints, broadcasts) carries records in an encoded form
+// produced by a Coder, so transfer sizes are real byte counts and the
+// bandwidth model in simnet sees realistic volumes.
+package data
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Record is a single element of a distributed collection. Key may be nil
+// for keyless collections (e.g. global aggregation inputs).
+type Record struct {
+	Key   any
+	Value any
+}
+
+// KV constructs a Record.
+func KV(key, value any) Record { return Record{Key: key, Value: value} }
+
+// String renders the record for debugging.
+func (r Record) String() string { return fmt.Sprintf("(%v, %v)", r.Key, r.Value) }
+
+// HashKey maps a record key to a stable 64-bit hash used for partitioning.
+// The supported key types cover everything the built-in coders produce.
+func HashKey(k any) uint64 {
+	h := fnv.New64a()
+	switch v := k.(type) {
+	case nil:
+		return 0
+	case string:
+		_, _ = h.Write([]byte(v))
+	case int:
+		writeUint64(h, uint64(int64(v)))
+	case int32:
+		writeUint64(h, uint64(int64(v)))
+	case int64:
+		writeUint64(h, uint64(v))
+	case uint64:
+		writeUint64(h, v)
+	case float64:
+		writeUint64(h, math.Float64bits(v))
+	case bool:
+		if v {
+			writeUint64(h, 1)
+		} else {
+			writeUint64(h, 0)
+		}
+	default:
+		_, _ = fmt.Fprintf(h, "%v", v)
+	}
+	return h.Sum64()
+}
+
+type byteWriter interface{ Write([]byte) (int, error) }
+
+func writeUint64(w byteWriter, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, _ = w.Write(b[:])
+}
+
+// Partition maps a key to one of n partitions.
+func Partition(key any, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(HashKey(key) % uint64(n))
+}

@@ -1,0 +1,53 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+)
+
+// OutputCoder returns the record coder for a vertex's output collection.
+func OutputCoder(v *dag.Vertex) (data.Coder, error) {
+	switch op := v.Op.(type) {
+	case *CreateOp:
+		return op.Coder, nil
+	case *ReadOp:
+		return op.Coder, nil
+	case *ParDoOp:
+		return op.OutCoder, nil
+	case *CombineOp:
+		return op.OutCoder, nil
+	case *MultiOp:
+		return op.OutCoder, nil
+	default:
+		return nil, fmt.Errorf("dataflow: vertex %q has unknown payload %T", v.Name, v.Op)
+	}
+}
+
+// AccumulatorCoder returns the coder for a CombineOp's (key, accumulator)
+// records if the operator supports encoded partial aggregation, or nil.
+func AccumulatorCoder(v *dag.Vertex) data.Coder {
+	if op, ok := v.Op.(*CombineOp); ok {
+		return op.AccCoder
+	}
+	return nil
+}
+
+// OpCost returns the CPU tokens charged per record processed by the
+// vertex's operator (1 unless declared otherwise).
+func OpCost(v *dag.Vertex) int {
+	c := 0
+	switch op := v.Op.(type) {
+	case *ParDoOp:
+		c = op.Cost
+	case *CombineOp:
+		c = op.Cost
+	case *ReadOp:
+		c = op.Cost
+	}
+	if c <= 0 {
+		return 1
+	}
+	return c
+}

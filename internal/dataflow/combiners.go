@@ -1,0 +1,166 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"pado/internal/data"
+)
+
+// This file provides the library of common CombineFns beyond the sums in
+// fns.go, plus the Flatten transform. All accumulators are encodable so
+// the Pado runtime can partially aggregate them (§3.2.7).
+
+// CountFn counts records per key. Accumulator: int64.
+type CountFn struct{}
+
+// CreateAccumulator implements CombineFn.
+func (CountFn) CreateAccumulator() any { return int64(0) }
+
+// AddInput implements CombineFn.
+func (CountFn) AddInput(acc any, _ data.Record) any { return acc.(int64) + 1 }
+
+// MergeAccumulators implements CombineFn.
+func (CountFn) MergeAccumulators(a, b any) any { return a.(int64) + b.(int64) }
+
+// ExtractOutput implements CombineFn.
+func (CountFn) ExtractOutput(key, acc any) data.Record {
+	return data.Record{Key: key, Value: acc.(int64)}
+}
+
+// MeanFn averages float64 values per key. Accumulator: []float64{sum, n},
+// encodable with data.Float64sCoder.
+type MeanFn struct{}
+
+// CreateAccumulator implements CombineFn.
+func (MeanFn) CreateAccumulator() any { return []float64{0, 0} }
+
+// AddInput implements CombineFn.
+func (MeanFn) AddInput(acc any, r data.Record) any {
+	a := acc.([]float64)
+	switch v := r.Value.(type) {
+	case float64:
+		a[0] += v
+	case int64:
+		a[0] += float64(v)
+	default:
+		panic(fmt.Sprintf("dataflow: MeanFn expects float64 or int64, got %T", r.Value))
+	}
+	a[1]++
+	return a
+}
+
+// MergeAccumulators implements CombineFn.
+func (MeanFn) MergeAccumulators(a, b any) any {
+	av, bv := a.([]float64), b.([]float64)
+	av[0] += bv[0]
+	av[1] += bv[1]
+	return av
+}
+
+// ExtractOutput implements CombineFn.
+func (MeanFn) ExtractOutput(key, acc any) data.Record {
+	a := acc.([]float64)
+	if a[1] == 0 {
+		return data.Record{Key: key, Value: 0.0}
+	}
+	return data.Record{Key: key, Value: a[0] / a[1]}
+}
+
+// MinInt64Fn keeps the minimum int64 value per key.
+type MinInt64Fn struct{}
+
+// CreateAccumulator implements CombineFn; the empty accumulator is nil
+// and the first input replaces it.
+func (MinInt64Fn) CreateAccumulator() any { return nil }
+
+// AddInput implements CombineFn.
+func (MinInt64Fn) AddInput(acc any, r data.Record) any {
+	v := r.Value.(int64)
+	if acc == nil {
+		return v
+	}
+	if m := acc.(int64); m < v {
+		return m
+	}
+	return v
+}
+
+// MergeAccumulators implements CombineFn.
+func (MinInt64Fn) MergeAccumulators(a, b any) any {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.(int64) < b.(int64) {
+		return a
+	}
+	return b
+}
+
+// ExtractOutput implements CombineFn.
+func (MinInt64Fn) ExtractOutput(key, acc any) data.Record {
+	if acc == nil {
+		return data.Record{Key: key, Value: int64(0)}
+	}
+	return data.Record{Key: key, Value: acc.(int64)}
+}
+
+// MaxInt64Fn keeps the maximum int64 value per key.
+type MaxInt64Fn struct{}
+
+// CreateAccumulator implements CombineFn.
+func (MaxInt64Fn) CreateAccumulator() any { return nil }
+
+// AddInput implements CombineFn.
+func (MaxInt64Fn) AddInput(acc any, r data.Record) any {
+	v := r.Value.(int64)
+	if acc == nil {
+		return v
+	}
+	if m := acc.(int64); m > v {
+		return m
+	}
+	return v
+}
+
+// MergeAccumulators implements CombineFn.
+func (MaxInt64Fn) MergeAccumulators(a, b any) any {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.(int64) > b.(int64) {
+		return a
+	}
+	return b
+}
+
+// ExtractOutput implements CombineFn.
+func (MaxInt64Fn) ExtractOutput(key, acc any) data.Record {
+	if acc == nil {
+		return data.Record{Key: key, Value: int64(0)}
+	}
+	return data.Record{Key: key, Value: acc.(int64)}
+}
+
+// Flatten unions several collections with identical coders and (at run
+// time) identical parallelism into one collection, element order within a
+// partition following input declaration order.
+func Flatten(name string, first Collection, rest ...Collection) Collection {
+	fn := MultiDoFunc(func(inputs map[string][]data.Record, emit Emit) error {
+		for _, r := range inputs[""] {
+			emit(r)
+		}
+		for i := 1; i <= len(rest); i++ {
+			for _, r := range inputs[fmt.Sprintf("in%d", i)] {
+				emit(r)
+			}
+		}
+		return nil
+	})
+	return first.Apply(name, fn, first.coder, rest...)
+}

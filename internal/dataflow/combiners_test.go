@@ -1,0 +1,127 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pado/internal/data"
+)
+
+func foldKeyed(fn CombineFn, recs []data.Record) map[any]data.Record {
+	accs := map[any]any{}
+	for _, r := range recs {
+		acc, ok := accs[r.Key]
+		if !ok {
+			acc = fn.CreateAccumulator()
+		}
+		accs[r.Key] = fn.AddInput(acc, r)
+	}
+	out := map[any]data.Record{}
+	for k, acc := range accs {
+		out[k] = fn.ExtractOutput(k, acc)
+	}
+	return out
+}
+
+func TestCountFn(t *testing.T) {
+	out := foldKeyed(CountFn{}, []data.Record{
+		data.KV("a", int64(5)), data.KV("a", int64(9)), data.KV("b", "anything"),
+	})
+	if out["a"].Value.(int64) != 2 || out["b"].Value.(int64) != 1 {
+		t.Errorf("counts = %v", out)
+	}
+	var f CountFn
+	if f.MergeAccumulators(int64(3), int64(4)).(int64) != 7 {
+		t.Error("merge wrong")
+	}
+}
+
+func TestMeanFn(t *testing.T) {
+	out := foldKeyed(MeanFn{}, []data.Record{
+		data.KV("a", 1.0), data.KV("a", 3.0), data.KV("b", int64(10)),
+	})
+	if out["a"].Value.(float64) != 2.0 || out["b"].Value.(float64) != 10.0 {
+		t.Errorf("means = %v", out)
+	}
+	var f MeanFn
+	if got := f.ExtractOutput("k", f.CreateAccumulator()).Value.(float64); got != 0 {
+		t.Errorf("empty mean = %v", got)
+	}
+	// Merge equivalence property.
+	err := quick.Check(func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		direct := f.CreateAccumulator()
+		left, right := f.CreateAccumulator(), f.CreateAccumulator()
+		for i, x := range clean {
+			direct = f.AddInput(direct, data.KV("k", x))
+			if i%2 == 0 {
+				left = f.AddInput(left, data.KV("k", x))
+			} else {
+				right = f.AddInput(right, data.KV("k", x))
+			}
+		}
+		a := f.ExtractOutput("k", direct).Value.(float64)
+		b := f.ExtractOutput("k", f.MergeAccumulators(left, right)).Value.(float64)
+		return math.Abs(a-b) <= 1e-9*(1+math.Abs(a))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxFns(t *testing.T) {
+	recs := []data.Record{
+		data.KV("a", int64(5)), data.KV("a", int64(-2)), data.KV("a", int64(9)),
+	}
+	if got := foldKeyed(MinInt64Fn{}, recs)["a"].Value.(int64); got != -2 {
+		t.Errorf("min = %d", got)
+	}
+	if got := foldKeyed(MaxInt64Fn{}, recs)["a"].Value.(int64); got != 9 {
+		t.Errorf("max = %d", got)
+	}
+	var mn MinInt64Fn
+	if mn.MergeAccumulators(nil, int64(3)).(int64) != 3 {
+		t.Error("min merge with empty accumulator wrong")
+	}
+	var mx MaxInt64Fn
+	if mx.MergeAccumulators(int64(3), nil).(int64) != 3 {
+		t.Error("max merge with empty accumulator wrong")
+	}
+}
+
+func TestFlattenBuildsMultiOp(t *testing.T) {
+	kv := data.KVCoder{K: data.StringCoder, V: data.Int64Coder}
+	p := NewPipeline()
+	a := p.Read("a", &FuncSource{Partitions: 2}, kv)
+	b := p.Read("b", &FuncSource{Partitions: 2}, kv)
+	c := Flatten("union", a, b)
+	g := p.Graph()
+	in := g.InEdges(c.VertexID())
+	if len(in) != 2 {
+		t.Fatalf("flatten in-edges = %d", len(in))
+	}
+	for _, e := range in {
+		if e.Dep.Wide() {
+			t.Error("flatten should use narrow edges")
+		}
+	}
+	// Semantics: concatenation.
+	op := g.Vertex(c.VertexID()).Op.(*MultiOp)
+	var out []data.Record
+	op.Fn.ProcessPartition(map[string][]data.Record{
+		"":    {data.KV("x", int64(1))},
+		"in1": {data.KV("y", int64(2))},
+	}, func(r data.Record) { out = append(out, r) })
+	if len(out) != 2 || out[0].Key != "x" || out[1].Key != "y" {
+		t.Errorf("flatten output = %v", out)
+	}
+}

@@ -1,0 +1,203 @@
+// Package dataflow is the Beam-substitute programming model used to author
+// Pado jobs (paper §4).
+//
+// A Pipeline builds a logical DAG of operators connected by the four
+// dependency types the compiler understands:
+//
+//   - ParDo adds a one-to-one edge from its main input.
+//   - Side inputs (broadcasts) add one-to-many edges.
+//   - CombinePerKey adds a many-to-many edge (hash shuffle by key).
+//   - CombineGlobally adds a many-to-one edge (global aggregation).
+//
+// Create sources are marked ISCREATED and Read sources ISREAD so operator
+// placement (Algorithm 1) can treat them as the paper prescribes.
+package dataflow
+
+import (
+	"fmt"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+)
+
+// Pipeline accumulates a logical DAG.
+type Pipeline struct {
+	g *dag.Graph
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline {
+	return &Pipeline{g: dag.New()}
+}
+
+// Graph exposes the underlying logical DAG for compilation.
+func (p *Pipeline) Graph() *dag.Graph { return p.g }
+
+// Collection is a distributed dataset: a handle to one vertex of the DAG.
+type Collection struct {
+	p     *Pipeline
+	id    dag.VertexID
+	coder data.Coder
+}
+
+// VertexID returns the DAG vertex backing this collection.
+func (c Collection) VertexID() dag.VertexID { return c.id }
+
+// Coder returns the record coder of the collection.
+func (c Collection) Coder() data.Coder { return c.coder }
+
+// Pipeline returns the owning pipeline.
+func (c Collection) Pipeline() *Pipeline { return c.p }
+
+// Create adds an in-memory source (ISCREATED; placed on reserved
+// containers by Algorithm 1). The records are captured by value.
+func (p *Pipeline) Create(name string, recs []data.Record, coder data.Coder) Collection {
+	op := &CreateOp{Records: append([]data.Record(nil), recs...), Coder: coder}
+	id := p.g.AddVertex(name, dag.KindSourceCreate, op)
+	return Collection{p: p, id: id, coder: coder}
+}
+
+// Read adds a storage-backed source (ISREAD; placed on transient
+// containers). The source's partition count determines the parallelism of
+// everything downstream of one-to-one edges.
+func (p *Pipeline) Read(name string, src Source, coder data.Coder) Collection {
+	op := &ReadOp{Source: src, Coder: coder}
+	id := p.g.AddVertex(name, dag.KindSourceRead, op)
+	return Collection{p: p, id: id, coder: coder}
+}
+
+// Cached marks the collection's materialization as cacheable in executor
+// memory. Only meaningful on Read sources, whose partitions may be
+// re-read by several stages of an iterative job.
+func (c Collection) Cached() Collection {
+	if op, ok := c.p.g.Vertex(c.id).Op.(*ReadOp); ok {
+		op.Cached = true
+	}
+	return c
+}
+
+// ReadCost declares the per-record cost of a Read source in CPU capacity
+// tokens (external-storage input is not free; cascading recomputations
+// that reach the source pay it again).
+func (c Collection) ReadCost(tokensPerRecord int) Collection {
+	if op, ok := c.p.g.Vertex(c.id).Op.(*ReadOp); ok {
+		op.Cost = tokensPerRecord
+	}
+	return c
+}
+
+// SideInput declares a broadcast input for ParDo: the full contents of the
+// collection are delivered to every task of the consuming operator via a
+// one-to-many edge.
+type SideInput struct {
+	Name string
+	From Collection
+	// Cached asks the runtime to cache the materialized side input in
+	// executor memory (paper §3.2.7, task input caching).
+	Cached bool
+}
+
+// ParDoOpt configures a ParDo application.
+type ParDoOpt func(*parDoCfg)
+
+type parDoCfg struct {
+	sides []SideInput
+	cache bool
+	cost  int
+}
+
+// WithSide attaches a broadcast side input.
+func WithSide(s SideInput) ParDoOpt {
+	return func(c *parDoCfg) { c.sides = append(c.sides, s) }
+}
+
+// WithInputCache asks the runtime to cache this operator's main input on
+// the executors that run it, enabling cache-aware scheduling for
+// iterative jobs.
+func WithInputCache() ParDoOpt {
+	return func(c *parDoCfg) { c.cache = true }
+}
+
+// WithCost declares the operator's CPU cost in capacity tokens per input
+// record (default 1). Engines charge it against the executor's compute
+// limiter, so expensive per-record math (e.g. ALS normal-equation
+// solves) occupies simulated cores proportionally.
+func WithCost(tokensPerRecord int) ParDoOpt {
+	return func(c *parDoCfg) { c.cost = tokensPerRecord }
+}
+
+// ParDo applies fn to every record of c, emitting zero or more records per
+// input (a one-to-one dependency).
+func (c Collection) ParDo(name string, fn DoFn, out data.Coder, opts ...ParDoOpt) Collection {
+	var cfg parDoCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	op := &ParDoOp{Fn: fn, OutCoder: out, Sides: cfg.sides, CacheInput: cfg.cache, Cost: cfg.cost}
+	id := c.p.g.AddVertex(name, dag.KindCompute, op)
+	c.p.g.AddEdge(c.id, id, dag.OneToOne, "")
+	for _, s := range cfg.sides {
+		if s.From.p != c.p {
+			panic(fmt.Sprintf("dataflow: side input %q comes from a different pipeline", s.Name))
+		}
+		c.p.g.AddEdge(s.From.id, id, dag.OneToMany, s.Name)
+	}
+	return Collection{p: c.p, id: id, coder: out}
+}
+
+// CombineOpt configures a combine application.
+type CombineOpt func(*CombineOp)
+
+// WithAccumulatorCoder supplies the (key, accumulator) coder that lets
+// the Pado runtime ship partially aggregated accumulators across stage
+// boundaries (§3.2.7).
+func WithAccumulatorCoder(acc data.Coder) CombineOpt {
+	return func(op *CombineOp) { op.AccCoder = acc }
+}
+
+// WithCombineCost declares the combine's CPU cost in capacity tokens per
+// record (default 1).
+func WithCombineCost(tokensPerRecord int) CombineOpt {
+	return func(op *CombineOp) { op.Cost = tokensPerRecord }
+}
+
+// CombinePerKey groups records by key across all parent tasks (a
+// many-to-many hash shuffle) and reduces each group with fn.
+func (c Collection) CombinePerKey(name string, fn CombineFn, out data.Coder, opts ...CombineOpt) Collection {
+	op := &CombineOp{Fn: fn, OutCoder: out, InCoder: c.coder, Global: false}
+	for _, o := range opts {
+		o(op)
+	}
+	id := c.p.g.AddVertex(name, dag.KindCompute, op)
+	c.p.g.AddEdge(c.id, id, dag.ManyToMany, "")
+	return Collection{p: c.p, id: id, coder: out}
+}
+
+// CombineGlobally aggregates all records of the collection into a single
+// output (a many-to-one dependency; one task on the consuming side).
+func (c Collection) CombineGlobally(name string, fn CombineFn, out data.Coder, opts ...CombineOpt) Collection {
+	op := &CombineOp{Fn: fn, OutCoder: out, InCoder: c.coder, Global: true}
+	for _, o := range opts {
+		o(op)
+	}
+	id := c.p.g.AddVertex(name, dag.KindCompute, op)
+	c.p.g.AddEdge(c.id, id, dag.ManyToOne, "")
+	return Collection{p: c.p, id: id, coder: out}
+}
+
+// Apply adds a ParDo whose main input is this collection and which also
+// consumes additional one-to-one inputs from other collections (e.g. a
+// model-update operator reading both the aggregated gradient and the
+// previous model). All inputs must have matching parallelism at run time.
+func (c Collection) Apply(name string, fn MultiDoFn, out data.Coder, extra ...Collection) Collection {
+	op := &MultiOp{Fn: fn, OutCoder: out, NumInputs: 1 + len(extra)}
+	id := c.p.g.AddVertex(name, dag.KindCompute, op)
+	c.p.g.AddEdge(c.id, id, dag.OneToOne, "")
+	for i, x := range extra {
+		if x.p != c.p {
+			panic("dataflow: Apply input from a different pipeline")
+		}
+		c.p.g.AddEdge(x.id, id, dag.OneToOne, fmt.Sprintf("in%d", i+1))
+	}
+	return Collection{p: c.p, id: id, coder: out}
+}

@@ -1,0 +1,158 @@
+package dataflow
+
+import (
+	"pado/internal/data"
+)
+
+// Emit receives output records from a user function.
+type Emit func(data.Record)
+
+// SideValues gives a DoFn access to its materialized broadcast inputs.
+type SideValues interface {
+	// Get returns the full contents of the named side input.
+	Get(name string) []data.Record
+}
+
+// DoFn is the per-record processing function of ParDo.
+type DoFn interface {
+	// Process handles one input record and may emit any number of
+	// output records.
+	Process(r data.Record, sides SideValues, emit Emit) error
+}
+
+// DoFunc adapts a plain function to DoFn.
+type DoFunc func(r data.Record, sides SideValues, emit Emit) error
+
+// Process implements DoFn.
+func (f DoFunc) Process(r data.Record, sides SideValues, emit Emit) error {
+	return f(r, sides, emit)
+}
+
+// BundleDoFn is an optional refinement of DoFn: when a ParDo's function
+// also implements BundleDoFn, engines call ProcessBundle once per task
+// partition instead of Process per record. This is how per-partition
+// aggregation (e.g. one gradient per training partition, as in MLlib's
+// treeAggregate) is expressed.
+type BundleDoFn interface {
+	ProcessBundle(recs []data.Record, sides SideValues, emit Emit) error
+}
+
+// MapFunc adapts a 1:1 transformation to DoFn.
+func MapFunc(f func(data.Record) data.Record) DoFn {
+	return DoFunc(func(r data.Record, _ SideValues, emit Emit) error {
+		emit(f(r))
+		return nil
+	})
+}
+
+// MultiDoFn consumes aligned partitions of several one-to-one inputs.
+// Inputs arrive tagged: the main input under "" and extras under "in1",
+// "in2", ... in declaration order.
+type MultiDoFn interface {
+	ProcessPartition(inputs map[string][]data.Record, emit Emit) error
+}
+
+// MultiDoFunc adapts a plain function to MultiDoFn.
+type MultiDoFunc func(inputs map[string][]data.Record, emit Emit) error
+
+// ProcessPartition implements MultiDoFn.
+func (f MultiDoFunc) ProcessPartition(inputs map[string][]data.Record, emit Emit) error {
+	return f(inputs, emit)
+}
+
+// CombineFn is a commutative, associative aggregation. The decomposition
+// into accumulator operations is what enables the paper's partial
+// aggregation optimization (§3.2.7): transient executors pre-merge the
+// outputs of their local tasks, and reserved executors merge pushed
+// accumulators on the fly, so only compact accumulators cross the network
+// and reserved memory holds one accumulator per key.
+type CombineFn interface {
+	CreateAccumulator() any
+	// AddInput folds one record's value into the accumulator and
+	// returns the updated accumulator.
+	AddInput(acc any, r data.Record) any
+	// MergeAccumulators combines two accumulators; it may reuse either.
+	MergeAccumulators(a, b any) any
+	// ExtractOutput converts the final accumulator for key into the
+	// output record. key is nil for global combines.
+	ExtractOutput(key any, acc any) data.Record
+}
+
+// SumInt64Fn sums int64 values per key.
+type SumInt64Fn struct{}
+
+// CreateAccumulator implements CombineFn.
+func (SumInt64Fn) CreateAccumulator() any { return int64(0) }
+
+// AddInput implements CombineFn.
+func (SumInt64Fn) AddInput(acc any, r data.Record) any { return acc.(int64) + r.Value.(int64) }
+
+// MergeAccumulators implements CombineFn.
+func (SumInt64Fn) MergeAccumulators(a, b any) any { return a.(int64) + b.(int64) }
+
+// ExtractOutput implements CombineFn.
+func (SumInt64Fn) ExtractOutput(key, acc any) data.Record {
+	return data.Record{Key: key, Value: acc.(int64)}
+}
+
+// SumFloat64sFn sums float64 vectors elementwise (e.g. gradient
+// aggregation). Accumulators are reused destructively.
+type SumFloat64sFn struct{}
+
+// CreateAccumulator implements CombineFn.
+func (SumFloat64sFn) CreateAccumulator() any { return []float64(nil) }
+
+// AddInput implements CombineFn.
+func (SumFloat64sFn) AddInput(acc any, r data.Record) any {
+	return addVec(acc.([]float64), r.Value.([]float64))
+}
+
+// MergeAccumulators implements CombineFn.
+func (SumFloat64sFn) MergeAccumulators(a, b any) any {
+	return addVec(a.([]float64), b.([]float64))
+}
+
+// ExtractOutput implements CombineFn.
+func (SumFloat64sFn) ExtractOutput(key, acc any) data.Record {
+	v := acc.([]float64)
+	if v == nil {
+		v = []float64{}
+	}
+	return data.Record{Key: key, Value: v}
+}
+
+func addVec(dst, src []float64) []float64 {
+	if dst == nil {
+		return append([]float64(nil), src...)
+	}
+	if len(src) != len(dst) {
+		// Grow to the larger size; treats missing entries as zero.
+		if len(src) > len(dst) {
+			grown := make([]float64, len(src))
+			copy(grown, dst)
+			dst = grown
+		}
+	}
+	for i := range src {
+		dst[i] += src[i]
+	}
+	return dst
+}
+
+// GroupFn collects all values per key into a slice, i.e. a GroupByKey
+// expressed as a CombineFn whose accumulator is the value list.
+type GroupFn struct{}
+
+// CreateAccumulator implements CombineFn.
+func (GroupFn) CreateAccumulator() any { return []any(nil) }
+
+// AddInput implements CombineFn.
+func (GroupFn) AddInput(acc any, r data.Record) any { return append(acc.([]any), r.Value) }
+
+// MergeAccumulators implements CombineFn.
+func (GroupFn) MergeAccumulators(a, b any) any { return append(a.([]any), b.([]any)...) }
+
+// ExtractOutput implements CombineFn.
+func (GroupFn) ExtractOutput(key, acc any) data.Record {
+	return data.Record{Key: key, Value: acc}
+}

@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+)
+
+var kv = data.KVCoder{K: data.StringCoder, V: data.Int64Coder}
+
+func TestRunFragmentChain(t *testing.T) {
+	p := dataflow.NewPipeline()
+	src := &dataflow.SliceSource{Parts: [][]data.Record{{
+		data.KV("a", int64(1)), data.KV("b", int64(2)),
+	}}}
+	read := p.Read("read", src, kv)
+	double := read.ParDo("double", dataflow.MapFunc(func(r data.Record) data.Record {
+		return data.KV(r.Key, r.Value.(int64)*2)
+	}), kv)
+
+	g := p.Graph()
+	in := Inputs{Read: map[dag.VertexID]func() (dataflow.Iterator, error){
+		read.VertexID(): func() (dataflow.Iterator, error) { return src.Open(0) },
+	}}
+	outs, err := RunFragment(g, []dag.VertexID{read.VertexID(), double.VertexID()}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outs[double.VertexID()]
+	want := []data.Record{data.KV("a", int64(2)), data.KV("b", int64(4))}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestRunFragmentSideInputs(t *testing.T) {
+	p := dataflow.NewPipeline()
+	src := &dataflow.SliceSource{Parts: [][]data.Record{{data.KV("x", int64(10))}}}
+	model := p.Create("model", []data.Record{{Value: int64(5)}}, data.KVCoder{K: data.NilCoder, V: data.Int64Coder})
+	read := p.Read("read", src, kv)
+	addModel := read.ParDo("add-model", dataflow.DoFunc(
+		func(r data.Record, sides dataflow.SideValues, emit dataflow.Emit) error {
+			m := sides.Get("m")[0].Value.(int64)
+			emit(data.KV(r.Key, r.Value.(int64)+m))
+			return nil
+		}), kv,
+		dataflow.WithSide(dataflow.SideInput{Name: "m", From: model}))
+
+	g := p.Graph()
+	in := Inputs{
+		Read: map[dag.VertexID]func() (dataflow.Iterator, error){
+			read.VertexID(): func() (dataflow.Iterator, error) { return src.Open(0) },
+		},
+		Sides: map[dag.VertexID]map[string][]data.Record{
+			addModel.VertexID(): {"m": {{Value: int64(5)}}},
+		},
+	}
+	outs, err := RunFragment(g, []dag.VertexID{read.VertexID(), addModel.VertexID()}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[addModel.VertexID()][0].Value.(int64); got != 15 {
+		t.Errorf("got %d, want 15", got)
+	}
+}
+
+func TestRunFragmentBundleFn(t *testing.T) {
+	p := dataflow.NewPipeline()
+	src := &dataflow.SliceSource{Parts: [][]data.Record{{
+		{Value: int64(1)}, {Value: int64(2)}, {Value: int64(3)},
+	}}}
+	read := p.Read("read", src, data.KVCoder{K: data.NilCoder, V: data.Int64Coder})
+	sum := read.ParDo("bundle-sum", bundleSumFn{}, data.KVCoder{K: data.NilCoder, V: data.Int64Coder})
+	in := Inputs{Read: map[dag.VertexID]func() (dataflow.Iterator, error){
+		read.VertexID(): func() (dataflow.Iterator, error) { return src.Open(0) },
+	}}
+	outs, err := RunFragment(p.Graph(), []dag.VertexID{read.VertexID(), sum.VertexID()}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs[sum.VertexID()]) != 1 || outs[sum.VertexID()][0].Value.(int64) != 6 {
+		t.Errorf("bundle sum = %v", outs[sum.VertexID()])
+	}
+}
+
+type bundleSumFn struct{}
+
+func (bundleSumFn) Process(data.Record, dataflow.SideValues, dataflow.Emit) error {
+	return errors.New("should not be called per record")
+}
+
+func (bundleSumFn) ProcessBundle(recs []data.Record, _ dataflow.SideValues, emit dataflow.Emit) error {
+	var s int64
+	for _, r := range recs {
+		s += r.Value.(int64)
+	}
+	emit(data.Record{Value: s})
+	return nil
+}
+
+func TestRunFragmentMultiOp(t *testing.T) {
+	p := dataflow.NewPipeline()
+	a := p.Create("a", []data.Record{{Value: int64(10)}}, data.KVCoder{K: data.NilCoder, V: data.Int64Coder})
+	b := p.Create("b", []data.Record{{Value: int64(3)}}, data.KVCoder{K: data.NilCoder, V: data.Int64Coder})
+	diff := a.Apply("sub", dataflow.MultiDoFunc(func(inputs map[string][]data.Record, emit dataflow.Emit) error {
+		emit(data.Record{Value: inputs[""][0].Value.(int64) - inputs["in1"][0].Value.(int64)})
+		return nil
+	}), data.KVCoder{K: data.NilCoder, V: data.Int64Coder}, b)
+
+	in := Inputs{Ext: map[dag.VertexID]map[string][]data.Record{
+		diff.VertexID(): {
+			"":    {{Value: int64(10)}},
+			"in1": {{Value: int64(3)}},
+		},
+	}}
+	outs, err := RunFragment(p.Graph(), []dag.VertexID{diff.VertexID()}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[diff.VertexID()][0].Value.(int64); got != 7 {
+		t.Errorf("got %d, want 7", got)
+	}
+}
+
+func TestRunFragmentThrottleCharges(t *testing.T) {
+	p := dataflow.NewPipeline()
+	src := &dataflow.SliceSource{Parts: [][]data.Record{{
+		data.KV("a", int64(1)), data.KV("b", int64(2)),
+	}}}
+	read := p.Read("read", src, kv)
+	costly := read.ParDo("costly", dataflow.MapFunc(func(r data.Record) data.Record { return r }),
+		kv, dataflow.WithCost(10))
+	var charged int
+	in := Inputs{
+		Read: map[dag.VertexID]func() (dataflow.Iterator, error){
+			read.VertexID(): func() (dataflow.Iterator, error) { return src.Open(0) },
+		},
+		Throttle: func(n int) error { charged += n; return nil },
+	}
+	if _, err := RunFragment(p.Graph(), []dag.VertexID{read.VertexID(), costly.VertexID()}, in); err != nil {
+		t.Fatal(err)
+	}
+	// 2 records x cost 10 for the ParDo (reads are charged by the
+	// executors, not the interpreter).
+	if charged != 20 {
+		t.Errorf("charged %d, want 20", charged)
+	}
+}
+
+func TestRunFragmentErrorsPropagate(t *testing.T) {
+	p := dataflow.NewPipeline()
+	src := &dataflow.SliceSource{Parts: [][]data.Record{{data.KV("a", int64(1))}}}
+	read := p.Read("read", src, kv)
+	bad := read.ParDo("bad", dataflow.DoFunc(func(data.Record, dataflow.SideValues, dataflow.Emit) error {
+		return errors.New("user fn failure")
+	}), kv)
+	in := Inputs{Read: map[dag.VertexID]func() (dataflow.Iterator, error){
+		read.VertexID(): func() (dataflow.Iterator, error) { return src.Open(0) },
+	}}
+	if _, err := RunFragment(p.Graph(), []dag.VertexID{read.VertexID(), bad.VertexID()}, in); err == nil {
+		t.Error("expected user fn error")
+	}
+	// Missing reader should error too.
+	if _, err := RunFragment(p.Graph(), []dag.VertexID{read.VertexID()}, Inputs{}); err == nil {
+		t.Error("expected missing-reader error")
+	}
+}
+
+func TestAccTableKeyed(t *testing.T) {
+	tbl := NewAccTable(dataflow.SumInt64Fn{}, false)
+	tbl.AddRecord(data.KV("a", int64(1)))
+	tbl.AddRecord(data.KV("b", int64(5)))
+	tbl.AddRecord(data.KV("a", int64(2)))
+	if tbl.Len() != 2 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+	out := tbl.Extract()
+	m := map[string]int64{}
+	for _, r := range out {
+		m[r.Key.(string)] = r.Value.(int64)
+	}
+	if m["a"] != 3 || m["b"] != 5 {
+		t.Errorf("extract = %v", m)
+	}
+}
+
+func TestAccTableGlobal(t *testing.T) {
+	tbl := NewAccTable(dataflow.SumInt64Fn{}, true)
+	if tbl.Len() != 0 || len(tbl.Extract()) != 0 {
+		t.Error("empty global table should extract nothing")
+	}
+	tbl.AddRecord(data.Record{Value: int64(4)})
+	tbl.AddRecord(data.Record{Value: int64(6)})
+	out := tbl.Extract()
+	if len(out) != 1 || out[0].Value.(int64) != 10 {
+		t.Errorf("global extract = %v", out)
+	}
+}
+
+func TestAccTableMergeEquivalence(t *testing.T) {
+	// Property: folding records directly equals folding into two tables
+	// and merging their accumulator records — the invariant partial
+	// aggregation relies on (§3.2.7).
+	err := quick.Check(func(keys []uint8, vals []int64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		direct := NewAccTable(dataflow.SumInt64Fn{}, false)
+		left := NewAccTable(dataflow.SumInt64Fn{}, false)
+		right := NewAccTable(dataflow.SumInt64Fn{}, false)
+		for i := 0; i < n; i++ {
+			r := data.KV(fmt.Sprintf("k%d", keys[i]%8), vals[i])
+			direct.AddRecord(r)
+			if i%2 == 0 {
+				left.AddRecord(r)
+			} else {
+				right.AddRecord(r)
+			}
+		}
+		merged := NewAccTable(dataflow.SumInt64Fn{}, false)
+		for _, acc := range left.AccRecords() {
+			merged.MergeAcc(acc.Key, acc.Value)
+		}
+		for _, acc := range right.AccRecords() {
+			merged.MergeAcc(acc.Key, acc.Value)
+		}
+		return reflect.DeepEqual(sortRecs(direct.Extract()), sortRecs(merged.Extract()))
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func sortRecs(recs []data.Record) []data.Record {
+	sort.Slice(recs, func(i, j int) bool {
+		return recs[i].Key.(string) < recs[j].Key.(string)
+	})
+	return recs
+}
+
+func TestAccTableExtractDeterministic(t *testing.T) {
+	// Extraction order must not depend on insertion order.
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]data.Record, 50)
+	for i := range recs {
+		recs[i] = data.KV(fmt.Sprintf("k%d", i%17), int64(i))
+	}
+	t1 := NewAccTable(dataflow.SumInt64Fn{}, false)
+	for _, r := range recs {
+		t1.AddRecord(r)
+	}
+	shuffled := append([]data.Record(nil), recs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	t2 := NewAccTable(dataflow.SumInt64Fn{}, false)
+	for _, r := range shuffled {
+		t2.AddRecord(r)
+	}
+	if !reflect.DeepEqual(t1.Extract(), t2.Extract()) {
+		t.Error("extraction order depends on insertion order")
+	}
+}
+
+func TestCombineOpInterpretation(t *testing.T) {
+	p := dataflow.NewPipeline()
+	src := &dataflow.SliceSource{Parts: [][]data.Record{{}}}
+	read := p.Read("read", src, kv)
+	sum := read.CombinePerKey("sum", dataflow.SumInt64Fn{}, kv)
+	in := Inputs{Ext: map[dag.VertexID]map[string][]data.Record{
+		sum.VertexID(): {"": {
+			data.KV("x", int64(1)), data.KV("x", int64(2)), data.KV("y", int64(7)),
+		}},
+	}}
+	outs, err := RunFragment(p.Graph(), []dag.VertexID{sum.VertexID()}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]int64{}
+	for _, r := range outs[sum.VertexID()] {
+		m[r.Key.(string)] = r.Value.(int64)
+	}
+	if m["x"] != 3 || m["y"] != 7 {
+		t.Errorf("combine = %v", m)
+	}
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"pado/internal/runtime"
+	"pado/internal/trace"
+	"pado/internal/vtime"
+)
+
+func tinyParams() Params {
+	return Params{
+		Transient:      6,
+		Reserved:       2,
+		Scale:          vtime.NewScale(20 * time.Millisecond),
+		TimeoutMinutes: 600,
+		Size:           0.08,
+		Seed:           99,
+	}
+}
+
+func TestRunAllEnginesTiny(t *testing.T) {
+	for _, eng := range AllEngines {
+		for _, w := range []Workload{WorkloadMR, WorkloadMLR, WorkloadALS} {
+			p := tinyParams()
+			p.Engine = eng
+			p.Workload = w
+			p.Rate = trace.RateNone
+			out, err := Run(p)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", eng, w, err)
+			}
+			if out.TimedOut {
+				t.Fatalf("%v/%v timed out", eng, w)
+			}
+			if out.JCTMinutes <= 0 {
+				t.Errorf("%v/%v: jct = %v", eng, w, out.JCTMinutes)
+			}
+			if out.String() == "" {
+				t.Error("empty outcome string")
+			}
+		}
+	}
+}
+
+func TestRunWithEvictions(t *testing.T) {
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.Rate = trace.RateHigh
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics.Evictions == 0 {
+		t.Error("no evictions at the high rate")
+	}
+}
+
+func TestRunRepeatsAverages(t *testing.T) {
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.Rate = trace.RateNone
+	p.Repeats = 2
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.JCTMinutes <= 0 || out.TimedOut {
+		t.Errorf("averaged outcome = %+v", out)
+	}
+}
+
+func TestPadoConfigHook(t *testing.T) {
+	called := false
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.PadoConfig = func(cfg *runtime.Config) {
+		called = true
+		cfg.DisablePartialAggregation = true
+	}
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("PadoConfig hook not invoked")
+	}
+}
+
+func TestTableGet(t *testing.T) {
+	tb := &Table{Title: "t"}
+	tb.Rows = append(tb.Rows, Row{Outcome: Outcome{Params: Params{Engine: EnginePado, Rate: trace.RateHigh}, JCTMinutes: 5}})
+	out, ok := tb.Get(func(p Params) bool { return p.Engine == EnginePado })
+	if !ok || out.JCTMinutes != 5 {
+		t.Errorf("Get = %+v, %v", out, ok)
+	}
+	if _, ok := tb.Get(func(p Params) bool { return p.Engine == EngineSpark }); ok {
+		t.Error("Get matched missing row")
+	}
+	if tb.String() == "" {
+		t.Error("empty table render")
+	}
+}
+
+func TestEngineWorkloadStrings(t *testing.T) {
+	if EnginePado.String() != "Pado" || EngineSparkCheckpoint.String() != "Spark-checkpoint" {
+		t.Error("engine names wrong")
+	}
+	if WorkloadALS.String() != "ALS" || WorkloadMR.String() != "MR" || WorkloadMLR.String() != "MLR" {
+		t.Error("workload names wrong")
+	}
+}

@@ -1,0 +1,174 @@
+// Package integration runs every workload on every engine configuration
+// and checks the results against the sequential reference
+// implementations, with and without evictions. These are the
+// correctness-under-failure tests backing the performance experiments.
+package integration
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"pado/internal/cluster"
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/engines/sparklike"
+	"pado/internal/runtime"
+	"pado/internal/trace"
+	"pado/internal/vtime"
+	"pado/internal/workloads"
+)
+
+func testCluster(t *testing.T, transient, reserved int, rate trace.Rate, seed int64) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Transient:   transient,
+		Reserved:    reserved,
+		Slots:       4,
+		Lifetimes:   trace.Lifetimes(rate),
+		Scale:       vtime.NewScale(40 * time.Millisecond),
+		MinLifetime: 40 * time.Millisecond,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return cl
+}
+
+type engineRun func(t *testing.T, g *dag.Graph, rate trace.Rate, seed int64) map[dag.VertexID][]data.Record
+
+func padoRun(t *testing.T, g *dag.Graph, rate trace.Rate, seed int64) map[dag.VertexID][]data.Record {
+	cl := testCluster(t, 6, 2, rate, seed)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := runtime.Run(ctx, cl, g, runtime.Config{})
+	if err != nil {
+		t.Fatalf("pado run: %v", err)
+	}
+	if res.Metrics.TimedOut {
+		t.Fatalf("pado run timed out: %v", res.Metrics)
+	}
+	return res.Outputs
+}
+
+func sparkRun(ck bool) engineRun {
+	return func(t *testing.T, g *dag.Graph, rate trace.Rate, seed int64) map[dag.VertexID][]data.Record {
+		cl := testCluster(t, 6, 2, rate, seed)
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		res, err := sparklike.Run(ctx, cl, g, sparklike.Config{Checkpoint: ck})
+		if err != nil {
+			t.Fatalf("sparklike run (ck=%v): %v", ck, err)
+		}
+		if res.Metrics.TimedOut {
+			t.Fatalf("sparklike run (ck=%v) timed out: %v", ck, res.Metrics)
+		}
+		return res.Outputs
+	}
+}
+
+var engines = []struct {
+	name string
+	run  engineRun
+}{
+	{"pado", padoRun},
+	{"spark", sparkRun(false)},
+	{"spark-checkpoint", sparkRun(true)},
+}
+
+func singleOutput(t *testing.T, outs map[dag.VertexID][]data.Record) []data.Record {
+	t.Helper()
+	if len(outs) != 1 {
+		t.Fatalf("expected a single terminal output, got %d", len(outs))
+	}
+	for _, recs := range outs {
+		return recs
+	}
+	return nil
+}
+
+func TestMRAllEngines(t *testing.T) {
+	cfg := workloads.MRConfig{Partitions: 10, LinesPerPart: 800, Docs: 2000, Seed: 3}
+	want := workloads.MRReference(cfg)
+	for _, rate := range []trace.Rate{trace.RateNone, trace.RateMedium} {
+		for _, eng := range engines {
+			eng := eng
+			rate := rate
+			t.Run(eng.name+"/"+rate.String(), func(t *testing.T) {
+				t.Parallel()
+				recs := singleOutput(t, eng.run(t, workloads.MR(cfg).Graph(), rate, 101))
+				if len(recs) != len(want) {
+					t.Fatalf("got %d docs, want %d", len(recs), len(want))
+				}
+				for _, r := range recs {
+					if want[r.Key.(string)] != r.Value.(int64) {
+						t.Fatalf("doc %v: got %d want %d", r.Key, r.Value, want[r.Key.(string)])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMLRAllEngines(t *testing.T) {
+	cfg := workloads.MLRConfig{
+		Partitions: 10, SamplesPerPart: 40, Features: 64, Classes: 4,
+		NonZeros: 8, Iterations: 3, LearningRate: 0.5, Seed: 5,
+	}
+	want := workloads.MLRReference(cfg)
+	for _, rate := range []trace.Rate{trace.RateNone, trace.RateMedium} {
+		for _, eng := range engines {
+			eng := eng
+			rate := rate
+			t.Run(eng.name+"/"+rate.String(), func(t *testing.T) {
+				t.Parallel()
+				recs := singleOutput(t, eng.run(t, workloads.MLR(cfg).Graph(), rate, 202))
+				if len(recs) != 1 {
+					t.Fatalf("expected 1 model record, got %d", len(recs))
+				}
+				got := recs[0].Value.([]float64)
+				if len(got) != len(want) {
+					t.Fatalf("model size %d, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if math.Abs(got[i]-want[i]) > 1e-6+1e-4*math.Abs(want[i]) {
+						t.Fatalf("model[%d]: got %g want %g", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestALSAllEngines(t *testing.T) {
+	cfg := workloads.ALSConfig{
+		Partitions: 10, RatingsPerPart: 400, Users: 200, Items: 50,
+		Rank: 4, Iterations: 3, Lambda: 0.1, Seed: 7,
+	}
+	want := workloads.ALSReference(cfg)
+	for _, rate := range []trace.Rate{trace.RateNone, trace.RateMedium} {
+		for _, eng := range engines {
+			eng := eng
+			rate := rate
+			t.Run(eng.name+"/"+rate.String(), func(t *testing.T) {
+				t.Parallel()
+				recs := singleOutput(t, eng.run(t, workloads.ALS(cfg).Graph(), rate, 303))
+				if len(recs) != len(want) {
+					t.Fatalf("got %d item factors, want %d", len(recs), len(want))
+				}
+				for _, r := range recs {
+					id := r.Key.(int64)
+					got := r.Value.([]float64)
+					ref := want[id]
+					for k := range got {
+						if math.Abs(got[k]-ref[k]) > 1e-5+1e-3*math.Abs(ref[k]) {
+							t.Fatalf("item %d factor[%d]: got %g want %g", id, k, got[k], ref[k])
+						}
+					}
+				}
+			})
+		}
+	}
+}

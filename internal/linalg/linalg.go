@@ -1,0 +1,136 @@
+// Package linalg provides the small dense linear-algebra kernels used by
+// the evaluation workloads: the per-entity normal-equation solves of
+// Alternating Least Squares and vector/matrix helpers for Multinomial
+// Logistic Regression.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a solve encounters a (numerically)
+// singular system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves A x = b by Gaussian elimination with partial pivoting,
+// destroying A and b. A is row-major n×n.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("linalg: dimension mismatch")
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AddOuter accumulates the outer product w * (v v^T) into the row-major
+// square matrix m.
+func AddOuter(m [][]float64, v []float64, w float64) {
+	for i := range v {
+		wi := w * v[i]
+		row := m[i]
+		for j := range v {
+			row[j] += wi * v[j]
+		}
+	}
+}
+
+// Zeros returns an n×n zero matrix.
+func Zeros(n int) [][]float64 {
+	m := make([][]float64, n)
+	buf := make([]float64, n*n)
+	for i := range m {
+		m[i], buf = buf[:n], buf[n:]
+	}
+	return m
+}
+
+// Softmax writes the softmax of scores into probs (stable version).
+func Softmax(scores, probs []float64) {
+	max := math.Inf(-1)
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		e := math.Exp(s - max)
+		probs[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range probs {
+		probs[i] *= inv
+	}
+}
+
+// AXPY computes y += alpha * x.
+func AXPY(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func MaxAbsDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var max float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	return max
+}

@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("got %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("got %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected ErrSingular")
+	}
+}
+
+func TestSolveDimensionMismatch(t *testing.T) {
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected dimension error")
+	}
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("expected error for empty system")
+	}
+}
+
+// TestSolveProperty solves random SPD systems and verifies Ax = b.
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD A = Q^T Q + I and a random b.
+		a := Zeros(n)
+		for k := 0; k < n+2; k++ {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			AddOuter(a, v, 1)
+		}
+		for i := 0; i < n; i++ {
+			a[i][i] += 1
+		}
+		orig := Zeros(n)
+		for i := range a {
+			copy(orig[i], a[i])
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		bOrig := append([]float64(nil), b...)
+
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += orig[i][j] * x[j]
+			}
+			if math.Abs(s-bOrig[i]) > 1e-8 {
+				t.Fatalf("trial %d: residual %g at row %d", trial, s-bOrig[i], i)
+			}
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("empty Dot = %v", got)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := Zeros(2)
+	AddOuter(m, []float64{1, 2}, 3)
+	want := [][]float64{{3, 6}, {6, 12}}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Errorf("m[%d][%d] = %v, want %v", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	probs := make([]float64, 3)
+	Softmax([]float64{1, 2, 3}, probs)
+	var sum float64
+	for _, p := range probs {
+		if p <= 0 || p >= 1 {
+			t.Errorf("prob out of range: %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probs sum to %v", sum)
+	}
+	if !(probs[2] > probs[1] && probs[1] > probs[0]) {
+		t.Errorf("softmax not monotone: %v", probs)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	probs := make([]float64, 2)
+	Softmax([]float64{1000, 1001}, probs)
+	if math.IsNaN(probs[0]) || math.IsNaN(probs[1]) {
+		t.Fatalf("softmax overflowed: %v", probs)
+	}
+	if math.Abs(probs[0]+probs[1]-1) > 1e-12 {
+		t.Errorf("probs sum to %v", probs[0]+probs[1])
+	}
+}
+
+func TestSoftmaxSumsToOneProperty(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		scores := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				scores = append(scores, math.Mod(v, 1e6))
+			}
+		}
+		if len(scores) == 0 {
+			return true
+		}
+		probs := make([]float64, len(scores))
+		Softmax(scores, probs)
+		var sum float64
+		for _, p := range probs {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v", y)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2}, []float64{1, 5}); got != 3 {
+		t.Errorf("MaxAbsDiff = %v", got)
+	}
+	if got := MaxAbsDiff([]float64{1}, []float64{1, 2}); !math.IsInf(got, 1) {
+		t.Errorf("length mismatch should be +Inf, got %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+// Package metrics collects per-job counters used by the experiment
+// harness: task launches and relaunches (the paper's "ratio of relaunched
+// tasks to original tasks"), data movement volumes, and eviction counts.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Job aggregates counters for one job run. All fields are safe for
+// concurrent update.
+type Job struct {
+	// OriginalTasks counts distinct tasks of the physical plan that
+	// were launched at least once.
+	OriginalTasks atomic.Int64
+	// RelaunchedTasks counts task launches beyond each task's first
+	// attempt (recomputations and eviction relaunches).
+	RelaunchedTasks atomic.Int64
+	// Evictions counts transient container evictions observed while
+	// the job ran.
+	Evictions atomic.Int64
+	// BytesPushed counts payload bytes pushed from transient to
+	// reserved executors (Pado's escape path).
+	BytesPushed atomic.Int64
+	// BytesFetched counts payload bytes pulled from stage outputs,
+	// shuffle pulls, and broadcast fetches.
+	BytesFetched atomic.Int64
+	// BytesCheckpointed counts payload bytes written to stable storage
+	// (Spark-checkpoint only).
+	BytesCheckpointed atomic.Int64
+	// CacheHits and CacheMisses count task-input-cache lookups.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+}
+
+// RelaunchRatio returns relaunched/original, the paper's Figures 5-7
+// lower panels.
+func (j *Job) RelaunchRatio() float64 {
+	o := j.OriginalTasks.Load()
+	if o == 0 {
+		return 0
+	}
+	return float64(j.RelaunchedTasks.Load()) / float64(o)
+}
+
+// Snapshot is an immutable copy of the counters plus the measured job
+// completion time.
+type Snapshot struct {
+	JCT               time.Duration
+	TimedOut          bool
+	OriginalTasks     int64
+	RelaunchedTasks   int64
+	Evictions         int64
+	BytesPushed       int64
+	BytesFetched      int64
+	BytesCheckpointed int64
+	CacheHits         int64
+	CacheMisses       int64
+}
+
+// Snapshot captures the current counter values.
+func (j *Job) Snapshot(jct time.Duration, timedOut bool) Snapshot {
+	return Snapshot{
+		JCT:               jct,
+		TimedOut:          timedOut,
+		OriginalTasks:     j.OriginalTasks.Load(),
+		RelaunchedTasks:   j.RelaunchedTasks.Load(),
+		Evictions:         j.Evictions.Load(),
+		BytesPushed:       j.BytesPushed.Load(),
+		BytesFetched:      j.BytesFetched.Load(),
+		BytesCheckpointed: j.BytesCheckpointed.Load(),
+		CacheHits:         j.CacheHits.Load(),
+		CacheMisses:       j.CacheMisses.Load(),
+	}
+}
+
+// RelaunchRatio of the snapshot.
+func (s Snapshot) RelaunchRatio() float64 {
+	if s.OriginalTasks == 0 {
+		return 0
+	}
+	return float64(s.RelaunchedTasks) / float64(s.OriginalTasks)
+}
+
+// String summarizes the snapshot on one line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("jct=%v timedOut=%v tasks=%d relaunched=%d (%.0f%%) evictions=%d pushed=%dB fetched=%dB ckpt=%dB",
+		s.JCT, s.TimedOut, s.OriginalTasks, s.RelaunchedTasks, s.RelaunchRatio()*100,
+		s.Evictions, s.BytesPushed, s.BytesFetched, s.BytesCheckpointed)
+}

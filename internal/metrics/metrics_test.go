@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRelaunchRatio(t *testing.T) {
+	var j Job
+	if j.RelaunchRatio() != 0 {
+		t.Error("empty job ratio should be 0")
+	}
+	j.OriginalTasks.Store(100)
+	j.RelaunchedTasks.Store(31)
+	if got := j.RelaunchRatio(); got != 0.31 {
+		t.Errorf("ratio = %v", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var j Job
+	j.OriginalTasks.Store(10)
+	j.RelaunchedTasks.Store(5)
+	j.Evictions.Store(3)
+	j.BytesPushed.Store(100)
+	j.BytesFetched.Store(200)
+	j.BytesCheckpointed.Store(300)
+	s := j.Snapshot(2*time.Second, true)
+	if s.JCT != 2*time.Second || !s.TimedOut {
+		t.Errorf("snapshot timing wrong: %+v", s)
+	}
+	if s.RelaunchRatio() != 0.5 {
+		t.Errorf("snapshot ratio = %v", s.RelaunchRatio())
+	}
+	if s.BytesPushed != 100 || s.BytesFetched != 200 || s.BytesCheckpointed != 300 {
+		t.Errorf("byte counters wrong: %+v", s)
+	}
+	if !strings.Contains(s.String(), "evictions=3") {
+		t.Errorf("String missing fields: %s", s)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	var j Job
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				j.OriginalTasks.Add(1)
+				j.BytesPushed.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if j.OriginalTasks.Load() != 8000 || j.BytesPushed.Load() != 16000 {
+		t.Errorf("lost updates: %d %d", j.OriginalTasks.Load(), j.BytesPushed.Load())
+	}
+}

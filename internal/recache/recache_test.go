@@ -1,0 +1,188 @@
+package recache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+)
+
+func recsOfSize(n int) []data.Record {
+	recs := make([]data.Record, n)
+	for i := range recs {
+		recs[i] = data.KV(int64(i), int64(i))
+	}
+	return recs
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := New(1 << 20)
+	key := Key{Vertex: 1, Partition: 2}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache hit")
+	}
+	recs := recsOfSize(10)
+	if !c.Put(key, recs) {
+		t.Fatal("put rejected")
+	}
+	got, ok := c.Get(key)
+	if !ok || len(got) != 10 {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Each 10-record entry is ~640 estimated bytes; cap fits ~3.
+	c := New(2000)
+	for i := 0; i < 5; i++ {
+		c.Put(Key{Vertex: dag.VertexID(i), Partition: 0}, recsOfSize(10))
+	}
+	// Oldest entries must be gone; newest present.
+	if _, ok := c.Get(Key{Vertex: dag.VertexID(0), Partition: 0}); ok {
+		t.Error("oldest entry survived beyond budget")
+	}
+	if _, ok := c.Get(Key{Vertex: dag.VertexID(4), Partition: 0}); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestCacheTouchOnGet(t *testing.T) {
+	c := New(2000)
+	a := Key{Vertex: 1}
+	c.Put(a, recsOfSize(10))
+	c.Put(Key{Vertex: 2}, recsOfSize(10))
+	c.Put(Key{Vertex: 3}, recsOfSize(10))
+	c.Get(a) // touch a so it is most recent
+	c.Put(Key{Vertex: 4}, recsOfSize(10))
+	c.Put(Key{Vertex: 5}, recsOfSize(10))
+	if _, ok := c.Get(a); !ok {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestCacheOversizedEntry(t *testing.T) {
+	c := New(100)
+	if c.Put(Key{Vertex: 1}, recsOfSize(1000)) {
+		t.Error("oversized entry should not be cached")
+	}
+}
+
+func TestCacheReplace(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Vertex: 1}
+	c.Put(k, recsOfSize(10))
+	c.Put(k, recsOfSize(20))
+	got, _ := c.Get(k)
+	if len(got) != 20 {
+		t.Errorf("replacement not visible, len=%d", len(got))
+	}
+	if n := len(c.Keys()); n != 1 {
+		t.Errorf("keys = %d, want 1", n)
+	}
+}
+
+func TestEstimateSizeGrowsWithContent(t *testing.T) {
+	small := EstimateSize([]data.Record{{Key: "k", Value: "v"}})
+	big := EstimateSize([]data.Record{{Key: "k", Value: make([]float64, 1000)}})
+	if big <= small {
+		t.Errorf("size estimate ignores content: %d vs %d", small, big)
+	}
+	grouped := EstimateSize([]data.Record{{Key: "k", Value: []any{"aa", "bb"}}})
+	if grouped <= 48 {
+		t.Errorf("grouped value size too small: %d", grouped)
+	}
+}
+
+func TestFlightDeduplicates(t *testing.T) {
+	f := NewFlight()
+	var calls atomic.Int32
+	var started atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 16
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Add(1)
+			recs, _, err := f.Do(Key{Vertex: 7}, func() ([]data.Record, error) {
+				calls.Add(1)
+				<-gate // hold the in-flight call until all callers queue up
+				return recsOfSize(3), nil
+			})
+			if err != nil || len(recs) != 3 {
+				t.Errorf("do: %v %v", recs, err)
+			}
+		}()
+	}
+	for started.Load() < callers {
+		// Let every caller reach Do before releasing the first fetch.
+		runtimeGosched()
+	}
+	close(gate)
+	wg.Wait()
+	// Callers queued while the first fetch was in flight must share it;
+	// only stragglers that had not yet called Do may fetch again (they
+	// find the gate open and return instantly).
+	if n := calls.Load(); n > 3 {
+		t.Errorf("fetch called %d times, want <=3", n)
+	}
+	shared := 0
+	_, wasShared, _ := f.Do(Key{Vertex: 7}, func() ([]data.Record, error) { return nil, nil })
+	if wasShared {
+		shared++
+	}
+	_ = shared
+}
+
+func runtimeGosched() { runtime.Gosched() }
+
+func TestFlightPropagatesErrors(t *testing.T) {
+	f := NewFlight()
+	boom := errors.New("boom")
+	_, _, err := f.Do(Key{Vertex: 1}, func() ([]data.Record, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("got %v", err)
+	}
+	// After an error the key is retryable.
+	recs, _, err := f.Do(Key{Vertex: 1}, func() ([]data.Record, error) { return recsOfSize(1), nil })
+	if err != nil || len(recs) != 1 {
+		t.Errorf("retry after error failed: %v %v", recs, err)
+	}
+}
+
+func TestFlightDistinctKeysIndependent(t *testing.T) {
+	f := NewFlight()
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Do(Key{Vertex: dag.VertexID(i)}, func() ([]data.Record, error) {
+				calls.Add(1)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Errorf("distinct keys collapsed: %d calls", calls.Load())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Vertex: 3, Partition: -1}
+	if k.String() != fmt.Sprintf("%d/%d", 3, -1) {
+		t.Errorf("Key.String = %q", k.String())
+	}
+}

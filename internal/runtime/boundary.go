@@ -1,0 +1,200 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"pado/internal/core"
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+	"pado/internal/exec"
+)
+
+func errorsIs(err, target error) bool { return errors.Is(err, target) }
+
+// dispatchBoundaries moves a finished fragment task's boundary outputs to
+// the stage's reserved tasks. Depending on configuration the data takes
+// the paper's push path (possibly partially aggregated) or, in the
+// pull-boundary ablation, is parked in the local store for receivers to
+// pull after commit.
+func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, spec taskSpec,
+	outs map[dag.VertexID][]data.Record) {
+
+	g := ex.plan.Graph
+	nRecv := len(spec.Receivers)
+	if nRecv == 0 {
+		// A reserved-root stage always has receivers; reaching here is
+		// a scheduling bug.
+		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: fmt.Errorf("runtime: no receivers for stage %d", spec.Stage), Fatal: true})
+		return
+	}
+
+	// Partial aggregation applies when the stage root is a combine with
+	// an accumulator coder and the fragment has exactly one boundary
+	// carrying the combine's main input.
+	rootOp, _ := g.Vertex(ps.Root).Op.(*dataflow.CombineOp)
+	aggregable := !ex.cfg.DisablePartialAggregation &&
+		rootOp != nil && rootOp.AccCoder != nil &&
+		len(frag.Boundaries) == 1 && frag.Boundaries[0].Tag == "" &&
+		!ex.cfg.PullBoundaries
+
+	if aggregable {
+		// Fold this task's records into per-receiver accumulator tables.
+		b := frag.Boundaries[0]
+		perRecv := make([]*exec.AccTable, nRecv)
+		for i := range perRecv {
+			perRecv[i] = exec.NewAccTable(rootOp.Fn, rootOp.Global)
+		}
+		for _, r := range outs[b.From] {
+			perRecv[boundaryPartition(b.Dep, r, spec.Index, nRecv)].AddRecord(r)
+		}
+		if ex.cfg.aggMaxTasks() > 1 {
+			// Executor-level aggregation across tasks (§3.2.7).
+			buf := ex.aggBufferFor(ps, spec, rootOp.AccCoder, rootOp.Fn, rootOp.Global)
+			buf.deposit(senderRef{Index: spec.Index, Attempt: spec.Attempt}, perRecv)
+			return
+		}
+		// Task-level aggregation only: one frame per receiver.
+		frames := make([]*pushFrame, nRecv)
+		for i := range frames {
+			payload, err := encodeAccTable(rootOp.AccCoder, perRecv[i])
+			if err != nil {
+				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+				return
+			}
+			frames[i] = &pushFrame{
+				Stage: spec.Stage, Gen: spec.Gen, RecvIdx: i, Frag: spec.Frag,
+				Cover:    []senderRef{{Index: spec.Index, Attempt: spec.Attempt}},
+				Sections: []pushSection{{Tag: "", Aggregated: true, Payload: payload}},
+			}
+		}
+		ex.pushFrames(spec, frames)
+		return
+	}
+
+	// Raw path: per-receiver frames with one section per boundary edge.
+	sections := make([][]pushSection, nRecv)
+	for _, b := range frag.Boundaries {
+		coder, err := dataflow.OutputCoder(g.Vertex(b.From))
+		if err != nil {
+			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+			return
+		}
+		groups := make([][]data.Record, nRecv)
+		if b.Dep == dag.OneToMany {
+			for i := range groups {
+				groups[i] = outs[b.From]
+			}
+		} else {
+			for _, r := range outs[b.From] {
+				p := boundaryPartition(b.Dep, r, spec.Index, nRecv)
+				groups[p] = append(groups[p], r)
+			}
+		}
+		for i := range groups {
+			payload, err := data.EncodeAll(coder, groups[i])
+			if err != nil {
+				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+				return
+			}
+			sections[i] = append(sections[i], pushSection{Tag: b.Tag, Payload: payload})
+		}
+	}
+	frames := make([]*pushFrame, nRecv)
+	for i := range frames {
+		frames[i] = &pushFrame{
+			Stage: spec.Stage, Gen: spec.Gen, RecvIdx: i, Frag: spec.Frag,
+			Cover:    []senderRef{{Index: spec.Index, Attempt: spec.Attempt}},
+			Sections: sections[i],
+		}
+	}
+
+	if ex.cfg.PullBoundaries {
+		// Ablation: park encoded frames locally; receivers pull them
+		// after the commit, exactly like shuffle files on local disk —
+		// and exactly as vulnerable to eviction.
+		var total int64
+		for i, f := range frames {
+			var buf []byte
+			buf, err := encodeFrameBlock(f)
+			if err != nil {
+				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+				return
+			}
+			ex.store.Put(taskBlockID(spec.Stage, spec.Gen, spec.Frag, spec.Index, spec.Attempt, i), buf)
+			total += int64(len(buf))
+		}
+		_ = total
+		ex.send(evOutputCommitted{ref: spec.ref()})
+		return
+	}
+	ex.pushFrames(spec, frames)
+}
+
+// boundaryPartition routes one record to a receiver index for a boundary
+// dependency type.
+func boundaryPartition(dep dag.DepType, r data.Record, taskIdx, nRecv int) int {
+	switch dep {
+	case dag.ManyToMany:
+		return data.Partition(r.Key, nRecv)
+	case dag.ManyToOne:
+		return 0
+	case dag.OneToOne:
+		if taskIdx < nRecv {
+			return taskIdx
+		}
+		return taskIdx % nRecv
+	default:
+		return 0
+	}
+}
+
+// pushFrames sends every receiver its frame and then commits the task
+// through the master.
+func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
+	for i, f := range frames {
+		var n int64
+		for _, s := range f.Sections {
+			n += int64(len(s.Payload))
+		}
+		if err := sendPush(ex.net, ex.id, spec.Receivers[i], f); err != nil {
+			if !ex.stopped() {
+				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: isFatal(err)})
+			}
+			return
+		}
+		ex.met.BytesPushed.Add(n)
+	}
+	ex.send(evOutputCommitted{ref: spec.ref()})
+}
+
+// encodeFrameBlock / decodeFrameBlock serialize a pushFrame for the
+// pull-boundary ablation's local store.
+func encodeFrameBlock(f *pushFrame) ([]byte, error) {
+	var buf writerBuffer
+	e := data.NewEncoder(&buf)
+	if err := writePushFrame(e, f); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+func decodeFrameBlock(b []byte) (*pushFrame, error) {
+	d := data.NewDecoder(readerOf(b))
+	op, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if op != framePush {
+		return nil, fmt.Errorf("runtime: bad frame block")
+	}
+	return readPushFrame(d)
+}
+
+type writerBuffer struct{ b []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

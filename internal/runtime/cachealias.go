@@ -1,0 +1,11 @@
+package runtime
+
+import "pado/internal/recache"
+
+// cacheKey and inputCache alias the shared executor input cache
+// (§3.2.7), which the Spark-like baseline reuses for RDD-style caching.
+type cacheKey = recache.Key
+
+type inputCache = recache.Cache
+
+func newInputCache(capacity int64) *inputCache { return recache.New(capacity) }

@@ -1,0 +1,94 @@
+// Package runtime implements the Pado Runtime (paper §3.2): a master that
+// orchestrates the distributed workload — container manager, execution
+// plan generator, task scheduler — and executors that run tasks on
+// reserved and transient containers.
+//
+// The runtime's defining behaviors, each mapped to its paper section:
+//
+//   - push-based stage boundaries: transient task outputs are pushed to
+//     reserved executors as soon as tasks complete, so intermediate
+//     results escape evictions without checkpointing (§3.2.4);
+//   - output-commit protocol through the master, giving exactly-once
+//     processing of pushed outputs under evictions (§3.2.5);
+//   - eviction tolerance: only uncommitted tasks of the currently running
+//     stage are relaunched — never parent stages (§3.2.5);
+//   - reserved-failure recovery: ancestor stages whose outputs were lost
+//     are identified in topological order and recomputed (§3.2.6);
+//   - task input caching with cache-aware scheduling, and task output
+//     partial aggregation with count/delay escape limits (§3.2.7).
+//
+// Control-plane messages (task launches, commits, completion events) are
+// exchanged in-process between master and executors, standing in for the
+// REEF driver/evaluator messaging the paper's implementation uses. All
+// data-plane traffic — pushes, fetches, broadcasts, result collection —
+// flows through simnet streams and is bandwidth-accounted.
+package runtime
+
+import (
+	"time"
+
+	"pado/internal/core"
+)
+
+// Config parameterizes the runtime.
+type Config struct {
+	// Plan holds physical-planning knobs (reduce parallelism).
+	Plan core.PlanConfig
+
+	// PartialAggregation enables §3.2.7 task output partial
+	// aggregation on combiner stages (on by default; Disable* fields
+	// exist so the zero value enables the paper's defaults).
+	DisablePartialAggregation bool
+	// AggMaxTasks bounds how many task outputs may be merged in an
+	// executor-level aggregation buffer before it must flush (§3.2.7's
+	// "upper limit for the number of aggregated tasks"). Default 4.
+	AggMaxTasks int
+	// AggMaxDelay bounds how long aggregated data may linger on a
+	// transient executor before escaping to reserved executors
+	// (§3.2.7's upper limit for time). Default 50ms.
+	AggMaxDelay time.Duration
+
+	// DisableCache turns off task input caching and cache-aware
+	// scheduling (§3.2.7).
+	DisableCache bool
+	// CacheCapacity is the per-executor input cache budget in bytes.
+	// Default 64 MiB.
+	CacheCapacity int64
+
+	// PullBoundaries replaces the push path with pull-based boundary
+	// transfers (ablation only: receivers fetch transient task outputs
+	// from the transient executors' local stores, exposing them to
+	// evictions the way Spark's shuffle files are).
+	PullBoundaries bool
+
+	// EventQueue sizes the master's event channel. Default 8192.
+	EventQueue int
+}
+
+func (c Config) aggMaxTasks() int {
+	if c.AggMaxTasks <= 0 {
+		return 4
+	}
+	return c.AggMaxTasks
+}
+
+func (c Config) aggMaxDelay() time.Duration {
+	if c.AggMaxDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.AggMaxDelay
+}
+
+func (c Config) cacheCapacity() int64 {
+	if c.CacheCapacity <= 0 {
+		return 64 << 20
+	}
+	return c.CacheCapacity
+}
+
+func (c Config) eventQueue() int {
+	if c.EventQueue <= 0 {
+		return 8192
+	}
+	return c.EventQueue
+}

@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"sync"
+
+	"pado/internal/cluster"
+)
+
+// taskRef identifies one fragment task attempt within one stage
+// generation. Every executor-originated event carries a taskRef and the
+// master validates it against current state, so stale events from evicted
+// containers or restarted stages are dropped harmlessly.
+type taskRef struct {
+	Stage   int
+	Gen     int
+	Frag    int
+	Index   int
+	Attempt int
+}
+
+// event is a master event-loop message.
+type event interface{}
+
+type evContainerLaunched struct{ C *cluster.Container }
+type evContainerEvicted struct{ C *cluster.Container }
+type evContainerFailed struct{ C *cluster.Container }
+
+// evReceiverReady reports that a reserved task is registered and can
+// accept pushes.
+type evReceiverReady struct {
+	Stage, Gen, Index int
+}
+
+// evReceiverFailed reports a reserved task error.
+type evReceiverFailed struct {
+	Stage, Gen, Index int
+	Exec              string
+	Err               error
+	Fatal             bool
+}
+
+// evTaskComputed reports that a fragment task finished computing; its
+// slot is free while the output escapes on a separate goroutine (§3.2.4).
+type evTaskComputed struct {
+	ref    taskRef
+	Exec   string
+	Cached []cacheKey
+}
+
+// evOutputCommitted reports that every receiver acknowledged the task's
+// pushed output (§3.2.5). The master forwards per-receiver commits.
+type evOutputCommitted struct{ ref taskRef }
+
+// evTaskFailed reports a fragment task error.
+type evTaskFailed struct {
+	ref   taskRef
+	Exec  string
+	Err   error
+	Fatal bool
+}
+
+// evPullFailed reports that a receiver could not pull a committed sender
+// output (pull-boundary ablation): the sender must be relaunched.
+type evPullFailed struct{ ref taskRef }
+
+// evReservedTaskDone reports a finalized reserved task whose output
+// partition now lives in its executor's local store.
+type evReservedTaskDone struct {
+	Stage, Gen, Index int
+	Exec              string
+	Bytes             int64
+}
+
+// evResult carries a terminal transient task's output pushed to the
+// master collector.
+type evResult struct {
+	Stage, Gen, Index, Attempt int
+	Payload                    []byte
+}
+
+// mailbox is an unbounded FIFO queue used for receiver messages, so the
+// master's event loop never blocks while forwarding commits.
+type mailbox struct {
+	mu  sync.Mutex
+	q   []any
+	sig chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{sig: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(v any) {
+	m.mu.Lock()
+	m.q = append(m.q, v)
+	m.mu.Unlock()
+	select {
+	case m.sig <- struct{}{}:
+	default:
+	}
+}
+
+// get returns the next message, blocking until one arrives or either stop
+// channel closes.
+func (m *mailbox) get(stop1, stop2 <-chan struct{}) (any, bool) {
+	for {
+		m.mu.Lock()
+		if len(m.q) > 0 {
+			v := m.q[0]
+			m.q = m.q[1:]
+			m.mu.Unlock()
+			return v, true
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.sig:
+		case <-stop1:
+			return nil, false
+		case <-stop2:
+			return nil, false
+		}
+	}
+}

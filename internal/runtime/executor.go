@@ -1,0 +1,675 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pado/internal/cluster"
+	"pado/internal/core"
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+	"pado/internal/exec"
+	"pado/internal/metrics"
+	"pado/internal/recache"
+	"pado/internal/simnet"
+	"pado/internal/storage"
+)
+
+// Executor runs tasks on one container (§3.2.4). Transient executors run
+// fragment tasks and push their outputs toward reserved executors;
+// reserved executors additionally host receivers (reserved tasks) and
+// keep stage outputs in their local store.
+type Executor struct {
+	id   string
+	kind cluster.Kind
+	node *simnet.Node
+	net  *simnet.Network
+	plan *core.Plan
+	cfg  Config
+	met  *metrics.Job
+
+	events   chan<- event
+	masterID string
+
+	store  *storage.LocalStore
+	cache  *inputCache
+	flight *recache.Flight
+	cpu    *simnet.Limiter // nil = unlimited compute capacity
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	receivers map[recvKey]*receiver
+	aggbufs   map[aggKey]*aggBuffer
+}
+
+type recvKey struct{ Stage, Gen, Index int }
+type aggKey struct{ Stage, Gen, Frag int }
+
+func newExecutor(c *cluster.Container, net *simnet.Network, plan *core.Plan, cfg Config,
+	met *metrics.Job, events chan<- event, masterID string) (*Executor, error) {
+
+	ex := &Executor{
+		id:        c.ID,
+		kind:      c.Kind,
+		node:      c.Node,
+		net:       net,
+		plan:      plan,
+		cfg:       cfg,
+		met:       met,
+		events:    events,
+		masterID:  masterID,
+		store:     storage.NewLocalStore(),
+		cache:     newInputCache(cfg.cacheCapacity()),
+		flight:    recache.NewFlight(),
+		cpu:       c.CPU,
+		stop:      make(chan struct{}),
+		receivers: make(map[recvKey]*receiver),
+		aggbufs:   make(map[aggKey]*aggBuffer),
+	}
+	l, err := c.Node.Listen()
+	if err != nil {
+		return nil, err
+	}
+	go ex.serve(l)
+	go func() {
+		select {
+		case <-c.Node.Down():
+		case <-ex.stop:
+		}
+		ex.shutdown()
+	}()
+	return ex, nil
+}
+
+// shutdown stops the executor's goroutines. Called on node down (eviction
+// or failure) and on job teardown.
+func (ex *Executor) shutdown() {
+	ex.stopOnce.Do(func() {
+		close(ex.stop)
+		ex.mu.Lock()
+		recvs := make([]*receiver, 0, len(ex.receivers))
+		for _, r := range ex.receivers {
+			recvs = append(recvs, r)
+		}
+		ex.receivers = make(map[recvKey]*receiver)
+		ex.mu.Unlock()
+		for _, r := range recvs {
+			r.cancel()
+		}
+	})
+}
+
+func (ex *Executor) stopped() bool {
+	select {
+	case <-ex.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// send delivers an event to the master unless the executor stopped.
+func (ex *Executor) send(ev event) {
+	select {
+	case ex.events <- ev:
+	case <-ex.stop:
+	}
+}
+
+// serve handles inbound data-plane connections: boundary pushes and block
+// fetches.
+func (ex *Executor) serve(l *simnet.Listener) {
+	for {
+		conn, err := l.Accept(ex.stop)
+		if err != nil {
+			return
+		}
+		go ex.handleConn(conn)
+	}
+}
+
+func (ex *Executor) handleConn(conn *simnet.Conn) {
+	defer conn.Close()
+	d := data.NewDecoder(conn)
+	e := data.NewEncoder(conn)
+	for {
+		op, err := d.Byte()
+		if err != nil {
+			return
+		}
+		switch op {
+		case framePush:
+			f, err := readPushFrame(d)
+			if err != nil {
+				return
+			}
+			ok := ex.deliverPush(f)
+			resp := byte(respOK)
+			if !ok {
+				resp = respNo
+			}
+			if e.Byte(resp) != nil || e.Flush() != nil {
+				return
+			}
+		case frameStore:
+			id, err := d.String()
+			if err != nil {
+				return
+			}
+			payload, err := d.Bytes(0)
+			if err != nil {
+				return
+			}
+			ex.store.Put(id, payload)
+			if e.Byte(respOK) != nil || e.Flush() != nil {
+				return
+			}
+		case frameFetch:
+			id, err := d.String()
+			if err != nil {
+				return
+			}
+			payload, ok := ex.store.Get(id)
+			if !ok {
+				if e.Byte(respNo) != nil || e.Flush() != nil {
+					return
+				}
+				continue
+			}
+			if e.Byte(respOK) != nil || e.Bytes(payload) != nil || e.Flush() != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (ex *Executor) deliverPush(f *pushFrame) bool {
+	ex.mu.Lock()
+	r := ex.receivers[recvKey{Stage: f.Stage, Gen: f.Gen, Index: f.RecvIdx}]
+	ex.mu.Unlock()
+	if r == nil {
+		return false
+	}
+	return r.enqueue(msgFrame{f: f})
+}
+
+// StartReceiver registers and runs a reserved task (receiver) on this
+// executor. Called by the master's scheduler; reserved tasks are set up
+// before the stage's transient tasks launch (§3.2.3).
+func (ex *Executor) StartReceiver(spec recvSpec) {
+	r := newReceiver(ex, spec)
+	ex.mu.Lock()
+	ex.receivers[recvKey{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index}] = r
+	ex.mu.Unlock()
+	go r.run()
+	ex.send(evReceiverReady{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index})
+}
+
+// CancelReceiver tears down a receiver during stage restarts (§3.2.6).
+func (ex *Executor) CancelReceiver(stage, gen, idx int) {
+	ex.mu.Lock()
+	k := recvKey{Stage: stage, Gen: gen, Index: idx}
+	r := ex.receivers[k]
+	delete(ex.receivers, k)
+	ex.mu.Unlock()
+	if r != nil {
+		r.cancel()
+	}
+}
+
+// Commit forwards a task-output commit from the master to a receiver
+// (§3.2.5: commit messages travel through the master).
+func (ex *Executor) Commit(stage, gen, recvIdx int, c msgCommit) {
+	ex.mu.Lock()
+	r := ex.receivers[recvKey{Stage: stage, Gen: gen, Index: recvIdx}]
+	ex.mu.Unlock()
+	if r != nil {
+		r.enqueue(c)
+	}
+}
+
+// Launch starts a fragment task. The master performed slot accounting;
+// the executor just runs it on its own goroutine (§3.2.4: executors run
+// tasks on separate threads; outputs are sent on yet another thread).
+func (ex *Executor) Launch(spec taskSpec) {
+	go ex.runTask(spec)
+}
+
+// stageLoc locates one stage's output partitions.
+type stageLoc struct {
+	Gen   int
+	Execs []string // executor id per partition
+}
+
+// taskSpec describes one fragment task attempt.
+type taskSpec struct {
+	Stage   int
+	Gen     int
+	Frag    int
+	Index   int
+	Attempt int
+	// InputLocs locates the outputs of every parent stage this task
+	// reads from.
+	InputLocs map[int]stageLoc
+	// Receivers maps reserved task index to executor id (nil for
+	// terminal transient stages).
+	Receivers []string
+	// Terminal marks tasks of terminal transient stages, whose root
+	// output is pushed to the master collector.
+	Terminal bool
+}
+
+func (ex *Executor) runTask(spec taskSpec) {
+	ps := ex.plan.Stages[spec.Stage]
+	frag := ps.Fragments[spec.Frag]
+
+	outs, cached, err := ex.computeFragment(ps, frag, spec)
+	if err != nil {
+		if !ex.stopped() {
+			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: isFatal(err)})
+		}
+		return
+	}
+
+	// Free the slot immediately: the master can schedule the next task
+	// while the output escapes on this goroutine (§3.2.4).
+	ex.send(evTaskComputed{ref: spec.ref(), Exec: ex.id, Cached: cached})
+
+	if spec.Terminal {
+		ex.sendTerminal(ps, frag, spec, outs)
+		return
+	}
+	ex.dispatchBoundaries(ps, frag, spec, outs)
+}
+
+func (spec taskSpec) ref() taskRef {
+	return taskRef{Stage: spec.Stage, Gen: spec.Gen, Frag: spec.Frag, Index: spec.Index, Attempt: spec.Attempt}
+}
+
+// computeFragment resolves the task's external inputs and interprets the
+// fused operator chain.
+func (ex *Executor) computeFragment(ps *core.PhysStage, frag *core.Fragment, spec taskSpec) (map[dag.VertexID][]data.Record, []cacheKey, error) {
+	g := ex.plan.Graph
+	in := exec.Inputs{
+		Ext:   make(map[dag.VertexID]map[string][]data.Record),
+		Sides: make(map[dag.VertexID]map[string][]data.Record),
+		Read:  make(map[dag.VertexID]func() (dataflow.Iterator, error)),
+	}
+	var cached []cacheKey
+
+	for _, opID := range frag.Ops {
+		v := g.Vertex(opID)
+		if rd, ok := v.Op.(*dataflow.ReadOp); ok {
+			opID, rd, vtx := opID, rd, v
+			in.Read[opID] = func() (dataflow.Iterator, error) {
+				if rd.Cached && !ex.cfg.DisableCache {
+					key := cacheKey{Vertex: opID, Partition: spec.Index}
+					if recs, ok := ex.cache.Get(key); ok {
+						ex.met.CacheHits.Add(1)
+						return (&dataflow.SliceSource{Parts: [][]data.Record{recs}}).Open(0)
+					}
+					ex.met.CacheMisses.Add(1)
+				}
+				recs, err := materialize(rd.Source, spec.Index)
+				if err != nil {
+					return nil, err
+				}
+				// Reading external input has a real cost, paid only on
+				// actual reads — cache hits skip it.
+				if err := ex.throttle(len(recs) * dataflow.OpCost(vtx)); err != nil {
+					return nil, err
+				}
+				if rd.Cached && !ex.cfg.DisableCache {
+					key := cacheKey{Vertex: opID, Partition: spec.Index}
+					if ex.cache.Put(key, recs) {
+						cached = append(cached, key)
+					}
+				}
+				return (&dataflow.SliceSource{Parts: [][]data.Record{recs}}).Open(0)
+			}
+		}
+
+		for _, si := range ps.InputsTo(opID) {
+			loc, ok := spec.InputLocs[si.FromStage]
+			if !ok {
+				return nil, cached, fmt.Errorf("runtime: missing input location for stage %d", si.FromStage)
+			}
+			coder, err := dataflow.OutputCoder(g.Vertex(si.FromVertex))
+			if err != nil {
+				return nil, cached, err
+			}
+			switch si.Dep {
+			case dag.OneToOne:
+				recs, wasCached, err := ex.fetchPartition(si, loc, spec.Index, coder)
+				if err != nil {
+					return nil, cached, err
+				}
+				if wasCached {
+					cached = append(cached, cacheKey{Vertex: si.FromVertex, Partition: spec.Index})
+				}
+				addTagged(in.Ext, opID, si.Tag, recs)
+			case dag.OneToMany:
+				recs, hit, err := ex.fetchBroadcast(si, loc, coder)
+				if err != nil {
+					return nil, cached, err
+				}
+				if hit {
+					cached = append(cached, cacheKey{Vertex: si.FromVertex, Partition: -1})
+				}
+				addTagged(in.Sides, opID, si.Tag, recs)
+			default:
+				return nil, cached, fmt.Errorf("runtime: transient operator %q has %v cross-stage input", v.Name, si.Dep)
+			}
+		}
+	}
+	in.Throttle = ex.throttle
+	outs, err := exec.RunFragment(g, frag.Ops, in)
+	return outs, cached, err
+}
+
+// throttle charges the executor's compute-capacity limiter for processed
+// records (no-op when unlimited).
+func (ex *Executor) throttle(records int) error {
+	if ex.cpu == nil {
+		return nil
+	}
+	return ex.cpu.Acquire(records, ex.stop)
+}
+
+func addTagged(m map[dag.VertexID]map[string][]data.Record, op dag.VertexID, tag string, recs []data.Record) {
+	if m[op] == nil {
+		m[op] = make(map[string][]data.Record)
+	}
+	m[op][tag] = append(m[op][tag], recs...)
+}
+
+func materialize(src dataflow.Source, part int) ([]data.Record, error) {
+	it, err := src.Open(part)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var recs []data.Record
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return recs, nil
+		}
+		recs = append(recs, r)
+	}
+}
+
+// fetchPartition pulls one aligned partition of a parent stage's output,
+// through the input cache when the plan marked the edge cacheable. The
+// second result reports whether the records are now cached here, so the
+// master's cache index can steer future tasks to this executor (§3.2.7).
+func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, coder data.Coder) ([]data.Record, bool, error) {
+	if part >= len(loc.Execs) {
+		return nil, false, fmt.Errorf("runtime: partition %d out of range for stage %d", part, si.FromStage)
+	}
+	fetch := func() ([]data.Record, error) {
+		payload, err := fetchBlock(ex.net, ex.id, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
+		if err != nil {
+			return nil, err
+		}
+		ex.met.BytesFetched.Add(int64(len(payload)))
+		return data.DecodeAll(coder, payload)
+	}
+	if ex.cfg.DisableCache || !si.Cached {
+		recs, err := fetch()
+		return recs, false, err
+	}
+	key := cacheKey{Vertex: si.FromVertex, Partition: part}
+	if recs, ok := ex.cache.Get(key); ok {
+		ex.met.CacheHits.Add(1)
+		return recs, true, nil
+	}
+	ex.met.CacheMisses.Add(1)
+	recs, _, err := ex.flight.Do(key, func() ([]data.Record, error) {
+		recs, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		ex.cache.Put(key, recs)
+		return recs, nil
+	})
+	return recs, err == nil, err
+}
+
+// fetchBroadcast pulls every partition of a parent stage's output (a
+// one-to-many side input). Cached broadcasts go through a singleflight
+// group so concurrent task slots share one network fetch (§3.2.7: the
+// data "only needs to be sent once to the executors"). Returns whether
+// the result was newly cached.
+func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.Coder) ([]data.Record, bool, error) {
+	fetch := func() ([]data.Record, error) {
+		var recs []data.Record
+		for part, owner := range loc.Execs {
+			payload, err := fetchBlock(ex.net, ex.id, owner, stageBlockID(si.FromStage, loc.Gen, part))
+			if err != nil {
+				return nil, err
+			}
+			ex.met.BytesFetched.Add(int64(len(payload)))
+			part, err := data.DecodeAll(coder, payload)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, part...)
+		}
+		return recs, nil
+	}
+
+	if ex.cfg.DisableCache || !si.Cached {
+		recs, err := fetch()
+		return recs, false, err
+	}
+	key := cacheKey{Vertex: si.FromVertex, Partition: -1}
+	if recs, ok := ex.cache.Get(key); ok {
+		ex.met.CacheHits.Add(1)
+		return recs, false, nil
+	}
+	ex.met.CacheMisses.Add(1)
+	newly := false
+	recs, shared, err := ex.flight.Do(key, func() ([]data.Record, error) {
+		recs, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		ex.cache.Put(key, recs)
+		return recs, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	newly = !shared
+	return recs, newly, nil
+}
+
+// sendTerminal pushes a terminal transient task's output to the master
+// collector; the acknowledged push doubles as the commit.
+func (ex *Executor) sendTerminal(ps *core.PhysStage, frag *core.Fragment, spec taskSpec, outs map[dag.VertexID][]data.Record) {
+	coder, err := dataflow.OutputCoder(ex.plan.Graph.Vertex(ps.Root))
+	if err != nil {
+		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+		return
+	}
+	payload, err := data.EncodeAll(coder, outs[ps.Root])
+	if err != nil {
+		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+		return
+	}
+	f := &resultFrame{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index, Attempt: spec.Attempt, Payload: payload}
+	if err := sendResult(ex.net, ex.id, ex.masterID, f); err != nil {
+		if !ex.stopped() {
+			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err})
+		}
+		return
+	}
+	ex.met.BytesPushed.Add(int64(len(payload)))
+}
+
+func isFatal(err error) bool {
+	// Fetch and network errors are retryable (caused by evictions,
+	// failures, or races with recovery); anything else — user function
+	// errors, coder mismatches — is a job bug and aborts the run.
+	return !isTransientErr(err)
+}
+
+func isTransientErr(err error) bool {
+	for _, t := range []error{simnet.ErrNodeDown, simnet.ErrNoSuchNode, simnet.ErrConnClosed,
+		simnet.ErrNotListening, simnet.ErrLimiterClosed, errBlockNotFound, errPushRejected} {
+		if errorsIs(err, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// aggBuffer merges the boundary outputs of several tasks running on the
+// same executor before pushing (§3.2.7 partial aggregation). Data escapes
+// when MaxTasks outputs accumulated or MaxDelay elapsed.
+type aggBuffer struct {
+	ex       *Executor
+	stage    int
+	gen      int
+	frag     int
+	receiver []string
+	accCoder data.Coder
+	fn       dataflow.CombineFn
+	global   bool
+
+	mu     sync.Mutex
+	tables []*exec.AccTable // per receiver
+	cover  []senderRef
+	timer  *time.Timer
+}
+
+func (ex *Executor) aggBufferFor(ps *core.PhysStage, spec taskSpec, accCoder data.Coder,
+	fn dataflow.CombineFn, global bool) *aggBuffer {
+
+	k := aggKey{Stage: spec.Stage, Gen: spec.Gen, Frag: spec.Frag}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	b, ok := ex.aggbufs[k]
+	if !ok {
+		b = &aggBuffer{
+			ex: ex, stage: spec.Stage, gen: spec.Gen, frag: spec.Frag,
+			receiver: spec.Receivers, accCoder: accCoder, fn: fn, global: global,
+		}
+		b.reset()
+		ex.aggbufs[k] = b
+	}
+	return b
+}
+
+func (b *aggBuffer) reset() {
+	b.tables = make([]*exec.AccTable, len(b.receiver))
+	for i := range b.tables {
+		b.tables[i] = exec.NewAccTable(b.fn, b.global)
+	}
+	b.cover = nil
+}
+
+// deposit folds one task's per-receiver accumulator tables into the
+// buffer and flushes if the task-count limit is reached.
+func (b *aggBuffer) deposit(ref senderRef, perRecv []*exec.AccTable) {
+	b.mu.Lock()
+	for i, t := range perRecv {
+		for _, r := range t.AccRecords() {
+			b.tables[i].MergeAcc(r.Key, r.Value)
+		}
+	}
+	b.cover = append(b.cover, ref)
+	if len(b.cover) >= b.ex.cfg.aggMaxTasks() {
+		tables, cover := b.take()
+		b.mu.Unlock()
+		b.push(tables, cover)
+		return
+	}
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.ex.cfg.aggMaxDelay(), b.flushTimer)
+	}
+	b.mu.Unlock()
+}
+
+func (b *aggBuffer) take() ([]*exec.AccTable, []senderRef) {
+	tables, cover := b.tables, b.cover
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.reset()
+	return tables, cover
+}
+
+func (b *aggBuffer) flushTimer() {
+	b.mu.Lock()
+	b.timer = nil
+	if len(b.cover) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	tables, cover := b.take()
+	b.mu.Unlock()
+	b.push(tables, cover)
+}
+
+// push sends one aggregated frame per receiver, then commits every
+// covered task through the master.
+func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
+	ex := b.ex
+	var wg sync.WaitGroup
+	errs := make([]error, len(b.receiver))
+	for i := range b.receiver {
+		payload, err := encodeAccTable(b.accCoder, tables[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		f := &pushFrame{
+			Stage: b.stage, Gen: b.gen, RecvIdx: i, Frag: b.frag,
+			Cover:    cover,
+			Sections: []pushSection{{Tag: "", Aggregated: true, Payload: payload}},
+		}
+		wg.Add(1)
+		go func(i int, f *pushFrame, n int) {
+			defer wg.Done()
+			if err := sendPush(ex.net, ex.id, b.receiver[i], f); err != nil {
+				errs[i] = err
+				return
+			}
+			ex.met.BytesPushed.Add(int64(n))
+		}(i, f, len(payload))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			if ex.stopped() {
+				return
+			}
+			for _, c := range cover {
+				ex.send(evTaskFailed{
+					ref:  taskRef{Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt},
+					Exec: ex.id, Err: err, Fatal: isFatal(err),
+				})
+			}
+			return
+		}
+	}
+	for _, c := range cover {
+		ex.send(evOutputCommitted{ref: taskRef{Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt}})
+	}
+}
+
+func encodeAccTable(coder data.Coder, t *exec.AccTable) ([]byte, error) {
+	return data.EncodeAll(coder, t.AccRecords())
+}

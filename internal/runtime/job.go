@@ -1,0 +1,189 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pado/internal/cluster"
+	"pado/internal/core"
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+	"pado/internal/metrics"
+	"pado/internal/simnet"
+)
+
+// Result carries a finished job's terminal outputs and metrics.
+type Result struct {
+	// Outputs maps each terminal stage's root vertex to its records.
+	Outputs map[dag.VertexID][]data.Record
+	// Metrics summarizes the run.
+	Metrics metrics.Snapshot
+	// Plan is the compiled physical plan that was executed.
+	Plan *core.Plan
+	// Progress is the final replicated progress metadata (§3.2.6).
+	Progress *Progress
+}
+
+// Run compiles the logical DAG with the Pado compiler and executes it on
+// the cluster. Run owns the cluster's lifecycle: it starts the containers
+// and stops everything on return, so each cluster value runs exactly one
+// job (matching the paper's one-job-per-cluster experiments).
+//
+// If ctx expires the job is abandoned and the result reports TimedOut
+// with the elapsed time, mirroring the paper's "does not finish for more
+// than 90 minutes" observations.
+func Run(ctx context.Context, cl *cluster.Cluster, g *dag.Graph, cfg Config) (*Result, error) {
+	plan, err := core.Compile(g, cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlan(ctx, cl, plan, cfg)
+}
+
+// RunPlan executes an already compiled plan (used by ablations that
+// modify placement before running).
+func RunPlan(ctx context.Context, cl *cluster.Cluster, plan *core.Plan, cfg Config) (*Result, error) {
+	met := &metrics.Job{}
+	m := newMaster(cl, plan, cfg, met)
+
+	stopCollector, err := m.startCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer stopCollector()
+	defer cl.Stop()
+
+	if err := cl.Start(m); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	timedOut := false
+loop:
+	for !m.finished {
+		select {
+		case <-ctx.Done():
+			timedOut = true
+			break loop
+		case ev := <-m.events:
+			m.handle(ev)
+		}
+	}
+	jct := time.Since(start)
+
+	if m.failErr != nil {
+		return nil, m.failErr
+	}
+	res := &Result{Plan: plan, Metrics: met.Snapshot(jct, timedOut), Progress: m.snapshotProgress()}
+	if timedOut {
+		return res, nil
+	}
+
+	outputs, err := m.collectOutputs()
+	if err != nil {
+		return nil, fmt.Errorf("runtime: collecting outputs: %w", err)
+	}
+	res.Outputs = outputs
+	res.Metrics = met.Snapshot(jct, false)
+	return res, nil
+}
+
+// startCollector serves the master node's data plane: terminal transient
+// tasks push their results here.
+func (m *Master) startCollector() (func(), error) {
+	node := m.cl.MasterNode()
+	l, err := node.Listen()
+	if err != nil {
+		return nil, err
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			conn, err := l.Accept(stop)
+			if err != nil {
+				return
+			}
+			go m.handleCollectorConn(conn, stop)
+		}
+	}()
+	var once func()
+	done := false
+	once = func() {
+		if !done {
+			done = true
+			close(stop)
+		}
+	}
+	return once, nil
+}
+
+func (m *Master) handleCollectorConn(conn *simnet.Conn, stop <-chan struct{}) {
+	defer conn.Close()
+	d := data.NewDecoder(conn)
+	e := data.NewEncoder(conn)
+	for {
+		op, err := d.Byte()
+		if err != nil {
+			return
+		}
+		if op != frameResult {
+			return
+		}
+		f, err := readResultFrame(d)
+		if err != nil {
+			return
+		}
+		select {
+		case m.events <- evResult{Stage: f.Stage, Gen: f.Gen, Index: f.Index, Attempt: f.Attempt, Payload: f.Payload}:
+		case <-stop:
+			return
+		}
+		if e.Byte(respOK) != nil || e.Flush() != nil {
+			return
+		}
+	}
+}
+
+// collectOutputs gathers terminal stage outputs: reserved stage outputs
+// are fetched from their executors over the network; terminal transient
+// results were already pushed to the collector.
+func (m *Master) collectOutputs() (map[dag.VertexID][]data.Record, error) {
+	out := make(map[dag.VertexID][]data.Record)
+	for _, s := range m.stages {
+		if !s.ps.Terminal() {
+			continue
+		}
+		root := m.plan.Graph.Vertex(s.ps.Root)
+		coder, err := dataflow.OutputCoder(root)
+		if err != nil {
+			return nil, err
+		}
+		var recs []data.Record
+		if s.ps.RootReserved {
+			for part, exID := range s.outputExecs {
+				payload, err := fetchBlock(m.net, "master", exID, stageBlockID(s.ps.ID, s.gen, part))
+				if err != nil {
+					return nil, err
+				}
+				m.met.BytesFetched.Add(int64(len(payload)))
+				part, err := data.DecodeAll(coder, payload)
+				if err != nil {
+					return nil, err
+				}
+				recs = append(recs, part...)
+			}
+		} else {
+			for _, payload := range s.results {
+				part, err := data.DecodeAll(coder, payload)
+				if err != nil {
+					return nil, err
+				}
+				recs = append(recs, part...)
+			}
+		}
+		out[root.ID] = recs
+	}
+	return out, nil
+}

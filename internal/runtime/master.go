@@ -1,0 +1,660 @@
+package runtime
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pado/internal/cluster"
+	"pado/internal/core"
+	"pado/internal/dag"
+	"pado/internal/dataflow"
+	"pado/internal/metrics"
+	"pado/internal/simnet"
+)
+
+// Master orchestrates one job (§3.2): it owns the container manager role
+// (tracking executors by kind), the task scheduler (reserved tasks first,
+// then transient tasks, round-robin with cache awareness), the commit
+// relay of the eviction-tolerance protocol, and the recovery logic for
+// reserved-container failures.
+type Master struct {
+	cfg  Config
+	plan *core.Plan
+	cl   *cluster.Cluster
+	net  *simnet.Network
+	met  *metrics.Job
+
+	events chan event
+
+	// Event-loop-confined state.
+	execs          map[string]*Executor
+	kinds          map[string]cluster.Kind
+	slotsFree      map[string]int
+	transientOrder []string
+	reservedOrder  []string
+	rrTask         int
+	rrRecv         int
+	stages         []*stageRun
+	assignments    map[taskRef]string // outstanding slot holders
+	cacheIndex     map[cacheKey]map[string]bool
+
+	allowReservedFrag bool
+	finished          bool
+	failErr           error
+	t0                time.Time
+}
+
+// Task and stage state machines.
+type taskState int
+
+const (
+	tWaiting taskState = iota
+	tRunning
+	tComputed
+	tCommitted
+)
+
+type taskRun struct {
+	state   taskState
+	attempt int
+	exec    string
+	fails   int
+}
+
+type fragRun struct {
+	tasks      []*taskRun
+	nCommitted int
+}
+
+type stageStatus int
+
+const (
+	sPending stageStatus = iota
+	sStartingReceivers
+	sRunning
+	sDone
+)
+
+type stageRun struct {
+	ps       *core.PhysStage
+	status   stageStatus
+	gen      int
+	restarts int
+
+	recvExecs []string
+	recvReady []bool
+	nReady    int
+	recvDone  []bool
+	nDone     int
+
+	frags []*fragRun
+
+	// outputExecs locates the stage's output partitions once done.
+	outputExecs []string
+	// results holds terminal transient task payloads.
+	results  [][]byte
+	nResults int
+}
+
+const (
+	maxTaskFailures   = 50
+	maxStageRestarts  = 100
+	relaunchableState = tCommitted // states below this are relaunched on eviction
+)
+
+var debugStages = os.Getenv("PADO_DEBUG") != ""
+
+func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Job) *Master {
+	m := &Master{
+		t0:          time.Now(),
+		cfg:         cfg,
+		plan:        plan,
+		cl:          cl,
+		net:         cl.Net(),
+		met:         met,
+		events:      make(chan event, cfg.eventQueue()),
+		execs:       make(map[string]*Executor),
+		kinds:       make(map[string]cluster.Kind),
+		slotsFree:   make(map[string]int),
+		assignments: make(map[taskRef]string),
+		cacheIndex:  make(map[cacheKey]map[string]bool),
+	}
+	m.stages = make([]*stageRun, len(plan.Stages))
+	for i, ps := range plan.Stages {
+		m.stages[i] = &stageRun{ps: ps}
+	}
+	return m
+}
+
+// Cluster listener: callbacks convert to events. These run on cluster
+// goroutines and may block briefly if the event queue is saturated.
+func (m *Master) ContainerLaunched(c *cluster.Container) { m.events <- evContainerLaunched{C: c} }
+func (m *Master) ContainerEvicted(c *cluster.Container)  { m.events <- evContainerEvicted{C: c} }
+func (m *Master) ContainerFailed(c *cluster.Container)   { m.events <- evContainerFailed{C: c} }
+
+func (m *Master) abort(err error) {
+	if m.failErr == nil {
+		m.failErr = err
+	}
+	m.finished = true
+}
+
+// handle processes one event and then advances scheduling.
+func (m *Master) handle(ev event) {
+	switch e := ev.(type) {
+	case evContainerLaunched:
+		m.onLaunched(e.C)
+	case evContainerEvicted:
+		m.onEvicted(e.C)
+	case evContainerFailed:
+		m.onFailed(e.C)
+	case evReceiverReady:
+		m.onReceiverReady(e)
+	case evReceiverFailed:
+		m.onReceiverFailed(e)
+	case evTaskComputed:
+		m.onTaskComputed(e)
+	case evOutputCommitted:
+		m.onOutputCommitted(e)
+	case evTaskFailed:
+		m.onTaskFailed(e)
+	case evPullFailed:
+		m.onPullFailed(e)
+	case evReservedTaskDone:
+		m.onReservedTaskDone(e)
+	case evResult:
+		m.onResult(e)
+	}
+	if !m.finished {
+		m.schedule()
+	}
+}
+
+func (m *Master) onLaunched(c *cluster.Container) {
+	ex, err := newExecutor(c, m.net, m.plan, m.cfg, m.met, m.events, "master")
+	if err != nil {
+		// The container raced its own eviction; a replacement follows.
+		return
+	}
+	m.execs[c.ID] = ex
+	m.kinds[c.ID] = c.Kind
+	m.slotsFree[c.ID] = c.Slots
+	if c.Kind == cluster.Transient {
+		m.transientOrder = append(m.transientOrder, c.ID)
+	} else {
+		m.reservedOrder = append(m.reservedOrder, c.ID)
+	}
+}
+
+func (m *Master) dropExecutor(id string) {
+	if ex := m.execs[id]; ex != nil {
+		ex.shutdown()
+	}
+	delete(m.execs, id)
+	delete(m.kinds, id)
+	delete(m.slotsFree, id)
+	m.transientOrder = removeString(m.transientOrder, id)
+	m.reservedOrder = removeString(m.reservedOrder, id)
+	for key, set := range m.cacheIndex {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(m.cacheIndex, key)
+		}
+	}
+	for ref, exec := range m.assignments {
+		if exec == id {
+			delete(m.assignments, ref)
+		}
+	}
+}
+
+func removeString(s []string, v string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// onEvicted implements §3.2.5: only the uncommitted tasks that were
+// scheduled on the evicted executor are relaunched; parent stages are
+// never recomputed.
+func (m *Master) onEvicted(c *cluster.Container) {
+	m.met.Evictions.Add(1)
+	m.dropExecutor(c.ID)
+	for _, s := range m.stages {
+		if s.status != sRunning && s.status != sStartingReceivers {
+			continue
+		}
+		for _, fr := range s.frags {
+			for _, t := range fr.tasks {
+				if t.exec == c.ID && t.state != tWaiting && t.state != tCommitted {
+					m.requeue(t)
+				}
+			}
+		}
+	}
+}
+
+func (m *Master) requeue(t *taskRun) {
+	t.state = tWaiting
+	t.exec = ""
+	t.attempt++
+	m.met.RelaunchedTasks.Add(1)
+}
+
+// onFailed implements §3.2.6: identify stages whose intermediate results
+// were lost with the reserved container, pause dependents, and recompute
+// in topological order (via the normal pending-stage scheduling).
+func (m *Master) onFailed(c *cluster.Container) {
+	m.dropExecutor(c.ID)
+
+	lost := make(map[int]bool)
+	for _, s := range m.stages {
+		if s.status == sDone && containsString(s.outputExecs, c.ID) {
+			lost[s.ps.ID] = true
+		}
+	}
+	for _, s := range m.stages {
+		restart := lost[s.ps.ID]
+		if s.status == sRunning || s.status == sStartingReceivers {
+			if containsString(s.recvExecs, c.ID) {
+				restart = true
+			}
+			for _, pid := range s.ps.Parents {
+				if lost[pid] {
+					restart = true
+				}
+			}
+		}
+		if restart {
+			m.resetStage(s)
+		}
+	}
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// resetStage returns a stage to pending so scheduling recomputes it under
+// a fresh generation. Receivers still alive are canceled; in-flight tasks
+// keep running but their events carry a stale generation and are dropped.
+func (m *Master) resetStage(s *stageRun) {
+	for idx, e := range s.recvExecs {
+		if ex := m.execs[e]; ex != nil {
+			ex.CancelReceiver(s.ps.ID, s.gen, idx)
+		}
+	}
+	s.status = sPending
+	s.restarts++
+	s.recvExecs = nil
+	s.recvReady = nil
+	s.nReady = 0
+	s.recvDone = nil
+	s.nDone = 0
+	s.frags = nil
+	s.outputExecs = nil
+	s.results = nil
+	s.nResults = 0
+	if s.restarts > maxStageRestarts {
+		m.abort(fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, maxStageRestarts))
+	}
+}
+
+// stage lookups with generation validation.
+func (m *Master) stageAt(id, gen int) *stageRun {
+	if id < 0 || id >= len(m.stages) {
+		return nil
+	}
+	s := m.stages[id]
+	if s.gen != gen {
+		return nil
+	}
+	return s
+}
+
+func (m *Master) taskAt(ref taskRef) (*stageRun, *taskRun) {
+	s := m.stageAt(ref.Stage, ref.Gen)
+	if s == nil || ref.Frag >= len(s.frags) {
+		return nil, nil
+	}
+	fr := s.frags[ref.Frag]
+	if ref.Index >= len(fr.tasks) {
+		return nil, nil
+	}
+	t := fr.tasks[ref.Index]
+	if t.attempt != ref.Attempt {
+		return nil, nil
+	}
+	return s, t
+}
+
+func (m *Master) freeSlot(ref taskRef) {
+	if exec, ok := m.assignments[ref]; ok {
+		delete(m.assignments, ref)
+		if _, alive := m.slotsFree[exec]; alive {
+			m.slotsFree[exec]++
+		}
+	}
+}
+
+func (m *Master) onReceiverReady(e evReceiverReady) {
+	s := m.stageAt(e.Stage, e.Gen)
+	if s == nil || s.status != sStartingReceivers || s.recvReady[e.Index] {
+		return
+	}
+	s.recvReady[e.Index] = true
+	s.nReady++
+	if s.nReady == len(s.recvExecs) {
+		s.status = sRunning
+	}
+}
+
+func (m *Master) onReceiverFailed(e evReceiverFailed) {
+	if e.Fatal {
+		m.abort(fmt.Errorf("runtime: reserved task %d/%d failed: %w", e.Stage, e.Index, e.Err))
+		return
+	}
+	s := m.stageAt(e.Stage, e.Gen)
+	if s == nil || s.status == sDone {
+		return
+	}
+	m.resetStage(s)
+}
+
+func (m *Master) onTaskComputed(e evTaskComputed) {
+	m.freeSlot(e.ref)
+	for _, key := range e.Cached {
+		set := m.cacheIndex[key]
+		if set == nil {
+			set = make(map[string]bool)
+			m.cacheIndex[key] = set
+		}
+		set[e.Exec] = true
+	}
+	_, t := m.taskAt(e.ref)
+	if t == nil || t.state != tRunning {
+		return
+	}
+	t.state = tComputed
+}
+
+func (m *Master) onOutputCommitted(e evOutputCommitted) {
+	s, t := m.taskAt(e.ref)
+	if s == nil || t == nil || t.state == tCommitted || t.state == tWaiting {
+		return
+	}
+	t.state = tCommitted
+	fr := s.frags[e.ref.Frag]
+	fr.nCommitted++
+	// Relay the commit to every receiver of the stage (§3.2.5).
+	for idx, exID := range s.recvExecs {
+		if ex := m.execs[exID]; ex != nil {
+			ex.Commit(s.ps.ID, s.gen, idx, msgCommit{
+				Frag: e.ref.Frag, Index: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec,
+			})
+		}
+	}
+}
+
+func (m *Master) onTaskFailed(e evTaskFailed) {
+	m.freeSlot(e.ref)
+	if e.Fatal {
+		m.abort(fmt.Errorf("runtime: task %v failed: %w", e.ref, e.Err))
+		return
+	}
+	s, t := m.taskAt(e.ref)
+	if s == nil || t == nil || t.state == tWaiting || t.state == tCommitted {
+		return
+	}
+	t.fails++
+	if t.fails > maxTaskFailures {
+		m.abort(fmt.Errorf("runtime: task %v failed %d times, last: %w", e.ref, t.fails, e.Err))
+		return
+	}
+	m.requeue(t)
+}
+
+func (m *Master) onPullFailed(e evPullFailed) {
+	s, t := m.taskAt(e.ref)
+	if s == nil || t == nil {
+		return
+	}
+	if t.state == tCommitted {
+		s.frags[e.ref.Frag].nCommitted--
+	}
+	m.requeue(t)
+}
+
+func (m *Master) onReservedTaskDone(e evReservedTaskDone) {
+	s := m.stageAt(e.Stage, e.Gen)
+	if s == nil || s.status != sRunning || s.recvDone[e.Index] {
+		return
+	}
+	s.recvDone[e.Index] = true
+	s.nDone++
+	if s.nDone == len(s.recvExecs) {
+		s.status = sDone
+		s.outputExecs = append([]string(nil), s.recvExecs...)
+		m.replicateProgress()
+		if debugStages {
+			log.Printf("pado: stage %d (%s) done at %v", s.ps.ID,
+				m.plan.Graph.Vertex(s.ps.Root).Name, time.Since(m.t0).Round(time.Millisecond))
+		}
+		m.checkAllDone()
+	}
+}
+
+func (m *Master) onResult(e evResult) {
+	s := m.stageAt(e.Stage, e.Gen)
+	if s == nil || s.status != sRunning || s.ps.RootReserved {
+		return
+	}
+	fr := s.frags[s.ps.RootFragment]
+	t := fr.tasks[e.Index]
+	if t.attempt != e.Attempt || t.state == tCommitted {
+		return
+	}
+	t.state = tCommitted
+	s.results[e.Index] = e.Payload
+	s.nResults++
+	if s.nResults == len(fr.tasks) {
+		s.status = sDone
+		m.replicateProgress()
+		m.checkAllDone()
+	}
+}
+
+func (m *Master) checkAllDone() {
+	for _, s := range m.stages {
+		if s.status != sDone {
+			return
+		}
+	}
+	m.finished = true
+}
+
+// schedule starts pending stages whose parents completed and assigns
+// waiting tasks to executors.
+func (m *Master) schedule() {
+	for _, s := range m.stages {
+		if s.status == sPending && m.parentsDone(s) {
+			m.startStage(s)
+		}
+	}
+	m.assignTasks()
+}
+
+func (m *Master) parentsDone(s *stageRun) bool {
+	for _, pid := range s.ps.Parents {
+		if m.stages[pid].status != sDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Master) startStage(s *stageRun) {
+	ps := s.ps
+	if ps.RootReserved && len(m.reservedOrder) == 0 {
+		return // wait for a reserved container
+	}
+	s.gen++
+	s.frags = make([]*fragRun, len(ps.Fragments))
+	total := 0
+	for i, f := range ps.Fragments {
+		fr := &fragRun{tasks: make([]*taskRun, f.Parallelism)}
+		for j := range fr.tasks {
+			fr.tasks[j] = &taskRun{state: tWaiting}
+		}
+		s.frags[i] = fr
+		total += f.Parallelism
+	}
+
+	if ps.RootReserved {
+		r := ps.RootParallelism
+		s.recvExecs = make([]string, r)
+		s.recvReady = make([]bool, r)
+		s.recvDone = make([]bool, r)
+		s.nReady, s.nDone = 0, 0
+		for i := 0; i < r; i++ {
+			s.recvExecs[i] = m.reservedOrder[m.rrRecv%len(m.reservedOrder)]
+			m.rrRecv++
+		}
+		total += r
+		expected := 0
+		for _, f := range ps.Fragments {
+			expected += f.Parallelism
+		}
+		locs := m.inputLocsFor(ps)
+		// Reserved tasks are scheduled and set up first so they can
+		// receive pushed outputs (§3.2.3).
+		s.status = sStartingReceivers
+		for i := 0; i < r; i++ {
+			m.execs[s.recvExecs[i]].StartReceiver(recvSpec{
+				Stage: ps.ID, Gen: s.gen, Index: i,
+				Expected:  expected,
+				InputLocs: locs,
+				PullMode:  m.cfg.PullBoundaries,
+			})
+		}
+	} else {
+		s.results = make([][]byte, ps.Fragments[ps.RootFragment].Parallelism)
+		s.nResults = 0
+		s.status = sRunning
+	}
+
+	if s.gen == 1 {
+		m.met.OriginalTasks.Add(int64(total))
+	} else {
+		m.met.RelaunchedTasks.Add(int64(total))
+	}
+}
+
+func (m *Master) inputLocsFor(ps *core.PhysStage) map[int]stageLoc {
+	locs := make(map[int]stageLoc)
+	for _, si := range ps.Inputs {
+		if _, ok := locs[si.FromStage]; ok {
+			continue
+		}
+		p := m.stages[si.FromStage]
+		locs[si.FromStage] = stageLoc{Gen: p.gen, Execs: append([]string(nil), p.outputExecs...)}
+	}
+	return locs
+}
+
+// assignTasks hands waiting fragment tasks to executors: cache-preferred
+// placement first, then round-robin over free slots (§3.2.3).
+func (m *Master) assignTasks() {
+	pool := m.transientOrder
+	if len(pool) == 0 && (m.allowReservedFrag || m.cl.TransientConfigured() == 0) {
+		pool = m.reservedOrder
+	}
+	if len(pool) == 0 {
+		return
+	}
+	for _, s := range m.stages {
+		if s.status != sRunning {
+			continue
+		}
+		locs := m.inputLocsFor(s.ps)
+		for fi, fr := range s.frags {
+			frag := s.ps.Fragments[fi]
+			for ti, t := range fr.tasks {
+				if t.state != tWaiting {
+					continue
+				}
+				exec := m.pickExecutor(pool, s.ps, frag, ti)
+				if exec == "" {
+					return // no free slots anywhere
+				}
+				t.state = tRunning
+				t.exec = exec
+				m.slotsFree[exec]--
+				ref := taskRef{Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt}
+				m.assignments[ref] = exec
+				m.execs[exec].Launch(taskSpec{
+					Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt,
+					InputLocs: locs,
+					Receivers: append([]string(nil), s.recvExecs...),
+					Terminal:  !s.ps.RootReserved,
+				})
+			}
+		}
+	}
+}
+
+// pickExecutor prefers an executor that has any of the task's cacheable
+// inputs cached (§3.2.7 cache-aware scheduling), then falls back to
+// round-robin over executors with free slots.
+func (m *Master) pickExecutor(pool []string, ps *core.PhysStage, frag *core.Fragment, taskIdx int) string {
+	if !m.cfg.DisableCache {
+		for _, key := range taskCacheKeys(m.plan, ps, frag, taskIdx) {
+			for exID := range m.cacheIndex[key] {
+				if m.slotsFree[exID] > 0 && containsString(pool, exID) {
+					return exID
+				}
+			}
+		}
+	}
+	for i := 0; i < len(pool); i++ {
+		exID := pool[m.rrTask%len(pool)]
+		m.rrTask++
+		if m.slotsFree[exID] > 0 {
+			return exID
+		}
+	}
+	return ""
+}
+
+// taskCacheKeys lists the cacheable inputs of one fragment task.
+func taskCacheKeys(plan *core.Plan, ps *core.PhysStage, frag *core.Fragment, taskIdx int) []cacheKey {
+	var keys []cacheKey
+	for _, opID := range frag.Ops {
+		if rd, ok := plan.Graph.Vertex(opID).Op.(*dataflow.ReadOp); ok && rd.Cached {
+			keys = append(keys, cacheKey{Vertex: opID, Partition: taskIdx})
+		}
+		for _, si := range ps.InputsTo(opID) {
+			if !si.Cached {
+				continue
+			}
+			switch si.Dep {
+			case dag.OneToOne:
+				keys = append(keys, cacheKey{Vertex: si.FromVertex, Partition: taskIdx})
+			case dag.OneToMany:
+				keys = append(keys, cacheKey{Vertex: si.FromVertex, Partition: -1})
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"pado/internal/trace"
+)
+
+func TestProgressEncodeRoundTrip(t *testing.T) {
+	in := &Progress{Stages: []StageProgress{
+		{ID: 0, Gen: 1, Done: true, OutputExecs: []string{"r1", "r2"}},
+		{ID: 1, Gen: 3, Done: false, OutputExecs: []string{}},
+		{ID: 2, Gen: 0, Done: false},
+	}}
+	payload, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeProgress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stages) != 3 {
+		t.Fatalf("stages = %d", len(out.Stages))
+	}
+	if !reflect.DeepEqual(out.Stages[0], in.Stages[0]) {
+		t.Errorf("stage 0 = %+v", out.Stages[0])
+	}
+	if out.Stages[1].Done || out.Stages[1].Gen != 3 {
+		t.Errorf("stage 1 = %+v", out.Stages[1])
+	}
+	if out.DoneCount() != 1 {
+		t.Errorf("done count = %d", out.DoneCount())
+	}
+	if _, err := DecodeProgress([]byte{0xff, 0xff}); err == nil {
+		t.Error("expected decode error on garbage")
+	}
+}
+
+func TestProgressReplicatedOnCompletion(t *testing.T) {
+	// After a successful run, the Result's progress snapshot must mark
+	// every stage done with output locations for reserved roots.
+	p, expect := buildWordCount(6, 200)
+	cl := newTestCluster(t, 4, 2, trace.RateNone)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, cl, p.Graph(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWordCount(t, res, expect)
+	if res.Progress == nil {
+		t.Fatal("no progress snapshot")
+	}
+	if res.Progress.DoneCount() != len(res.Progress.Stages) {
+		t.Errorf("progress marks %d/%d stages done",
+			res.Progress.DoneCount(), len(res.Progress.Stages))
+	}
+	for _, s := range res.Progress.Stages {
+		if res.Plan.Stages[s.ID].RootReserved && len(s.OutputExecs) == 0 {
+			t.Errorf("stage %d done without output locations", s.ID)
+		}
+	}
+	// Round trip the final snapshot through the wire format.
+	payload, err := res.Progress.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgress(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DoneCount() != res.Progress.DoneCount() {
+		t.Error("round-tripped snapshot differs")
+	}
+}

@@ -1,0 +1,445 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+
+	"pado/internal/core"
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+	"pado/internal/exec"
+)
+
+func readerOf(b []byte) *bytes.Reader { return bytes.NewReader(b) }
+
+// recvSpec describes one reserved task (receiver).
+type recvSpec struct {
+	Stage int
+	Gen   int
+	Index int
+	// Expected is the total number of sender-task commits to wait for
+	// (the sum of boundary fragments' parallelisms); 0 for stages
+	// without transient fragments.
+	Expected int
+	// InputLocs locates parent stage outputs for cross-stage inputs.
+	InputLocs map[int]stageLoc
+	// PullMode makes the receiver pull committed sender outputs from
+	// transient local stores (ablation) instead of accepting pushes.
+	PullMode bool
+}
+
+// Receiver messages.
+type msgFrame struct{ f *pushFrame }
+
+// msgCommit is a task-output commit forwarded by the master. Exec names
+// the sender's executor for pull-mode fetches.
+type msgCommit struct {
+	Frag    int
+	Index   int
+	Attempt int
+	Exec    string
+}
+type msgCancel struct{}
+
+type fragSender struct{ Frag, Index int }
+
+// receiver implements a reserved task (§3.2.4-3.2.5): it accepts pushed
+// boundary data, stages it per sender, merges it once the sender's commit
+// arrives through the master (exactly-once), fetches its cross-stage
+// inputs, and finalizes the stage root when every expected input landed.
+type receiver struct {
+	ex   *Executor
+	spec recvSpec
+	msgs *mailbox
+	quit chan struct{}
+
+	root   *dag.Vertex
+	comb   *dataflow.CombineOp
+	table  *exec.AccTable
+	tagged map[string][]data.Record
+	sides  map[string][]data.Record
+
+	staged    []*pushFrame
+	committed map[fragSender]msgCommit
+	processed map[fragSender]bool
+	inputsOK  bool
+	finalized bool
+}
+
+func newReceiver(ex *Executor, spec recvSpec) *receiver {
+	r := &receiver{
+		ex:        ex,
+		spec:      spec,
+		msgs:      newMailbox(),
+		quit:      make(chan struct{}),
+		tagged:    make(map[string][]data.Record),
+		sides:     make(map[string][]data.Record),
+		committed: make(map[fragSender]msgCommit),
+		processed: make(map[fragSender]bool),
+	}
+	r.root = ex.plan.Graph.Vertex(ex.plan.Stages[spec.Stage].Root)
+	if op, ok := r.root.Op.(*dataflow.CombineOp); ok {
+		r.comb = op
+		r.table = exec.NewAccTable(op.Fn, op.Global)
+	}
+	return r
+}
+
+// enqueue delivers a message; the mailbox is unbounded so neither the
+// data-plane server nor the master's event loop ever blocks here.
+func (r *receiver) enqueue(m any) bool {
+	select {
+	case <-r.quit:
+		return false
+	default:
+	}
+	r.msgs.put(m)
+	return true
+}
+
+func (r *receiver) cancel() {
+	select {
+	case <-r.quit:
+	default:
+		close(r.quit)
+	}
+}
+
+func (r *receiver) fail(err error, fatal bool) {
+	r.ex.send(evReceiverFailed{Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
+		Exec: r.ex.id, Err: err, Fatal: fatal})
+}
+
+func (r *receiver) run() {
+	// Cross-stage inputs can be fetched immediately: parent stage
+	// outputs are already safe on reserved executors. Pushes arriving
+	// meanwhile queue in the mailbox.
+	if err := r.fetchInputs(); err != nil {
+		if !r.ex.stopped() {
+			r.fail(err, isFatal(err))
+		}
+		return
+	}
+	r.inputsOK = true
+	if r.maybeFinalize() {
+		return
+	}
+	for {
+		m, ok := r.msgs.get(r.quit, r.ex.stop)
+		if !ok {
+			return
+		}
+		{
+			switch msg := m.(type) {
+			case msgFrame:
+				r.staged = append(r.staged, msg.f)
+			case msgCommit:
+				key := fragSender{Frag: msg.Frag, Index: msg.Index}
+				if old, ok := r.committed[key]; !ok || msg.Attempt > old.Attempt {
+					r.committed[key] = msg
+				}
+				if r.spec.PullMode {
+					if err := r.pull(msg); err != nil {
+						if r.ex.stopped() {
+							return
+						}
+						// The sender's stored output is gone (its
+						// container was evicted): ask the master to
+						// relaunch the sender.
+						delete(r.committed, key)
+						r.ex.send(evPullFailed{ref: taskRef{
+							Stage: r.spec.Stage, Gen: r.spec.Gen,
+							Frag: msg.Frag, Index: msg.Index, Attempt: msg.Attempt,
+						}})
+						continue
+					}
+				}
+			case msgCancel:
+				return
+			}
+			if err := r.drainStaged(); err != nil {
+				if !r.ex.stopped() {
+					r.fail(err, true)
+				}
+				return
+			}
+			if r.maybeFinalize() {
+				return
+			}
+		}
+	}
+}
+
+// pull fetches a committed sender output in pull-boundary mode and stages
+// it as if it had been pushed.
+func (r *receiver) pull(c msgCommit) error {
+	id := taskBlockID(r.spec.Stage, r.spec.Gen, c.Frag, c.Index, c.Attempt, r.spec.Index)
+	payload, err := fetchBlock(r.ex.net, r.ex.id, c.Exec, id)
+	if err != nil {
+		return err
+	}
+	r.ex.met.BytesFetched.Add(int64(len(payload)))
+	f, err := decodeFrameBlock(payload)
+	if err != nil {
+		return err
+	}
+	r.staged = append(r.staged, f)
+	return nil
+}
+
+// drainStaged processes every staged frame whose covered senders are all
+// committed at the frame's attempts, and drops frames superseded by newer
+// attempts.
+func (r *receiver) drainStaged() error {
+	keep := r.staged[:0]
+	for _, f := range r.staged {
+		ready, dead := true, false
+		for _, c := range f.Cover {
+			cm, ok := r.committed[fragSender{Frag: f.Frag, Index: c.Index}]
+			switch {
+			case ok && cm.Attempt == c.Attempt:
+			case ok && cm.Attempt > c.Attempt:
+				dead = true
+			default:
+				ready = false
+			}
+			if r.processed[fragSender{Frag: f.Frag, Index: c.Index}] {
+				dead = true
+			}
+		}
+		if dead {
+			continue
+		}
+		if !ready {
+			keep = append(keep, f)
+			continue
+		}
+		if err := r.process(f); err != nil {
+			return err
+		}
+		for _, c := range f.Cover {
+			r.processed[fragSender{Frag: f.Frag, Index: c.Index}] = true
+		}
+	}
+	r.staged = keep
+	return nil
+}
+
+// process merges one frame's sections into the receiver's state.
+func (r *receiver) process(f *pushFrame) error {
+	g := r.ex.plan.Graph
+	frag := r.ex.plan.Stages[r.spec.Stage].Fragments[f.Frag]
+	for _, s := range f.Sections {
+		if s.Aggregated {
+			if r.comb == nil || r.comb.AccCoder == nil {
+				return fmt.Errorf("runtime: aggregated push for non-combine root %q", r.root.Name)
+			}
+			accs, err := data.DecodeAll(r.comb.AccCoder, s.Payload)
+			if err != nil {
+				return err
+			}
+			if err := r.ex.throttle(len(accs) * dataflow.OpCost(r.root)); err != nil {
+				return err
+			}
+			for _, a := range accs {
+				r.table.MergeAcc(a.Key, a.Value)
+			}
+			continue
+		}
+		// Raw section: decode with the boundary source's output coder.
+		from, err := boundarySource(frag, s.Tag)
+		if err != nil {
+			return err
+		}
+		coder, err := dataflow.OutputCoder(g.Vertex(from))
+		if err != nil {
+			return err
+		}
+		recs, err := data.DecodeAll(coder, s.Payload)
+		if err != nil {
+			return err
+		}
+		if err := r.ex.throttle(len(recs) * dataflow.OpCost(r.root)); err != nil {
+			return err
+		}
+		r.addInput(s.Tag, recs)
+	}
+	return nil
+}
+
+func boundarySource(frag *core.Fragment, tag string) (dag.VertexID, error) {
+	for _, b := range frag.Boundaries {
+		if b.Tag == tag {
+			return b.From, nil
+		}
+	}
+	return 0, fmt.Errorf("runtime: no boundary with tag %q", tag)
+}
+
+// addInput routes decoded records into the root's input state. Pushed
+// main-input records were already partitioned by the sender, so combine
+// roots fold them directly.
+func (r *receiver) addInput(tag string, recs []data.Record) {
+	if r.comb != nil && tag == "" {
+		for _, rec := range recs {
+			r.table.AddRecord(rec)
+		}
+		return
+	}
+	if _, ok := r.root.Op.(*dataflow.ParDoOp); ok && tag != "" {
+		r.sides[tag] = append(r.sides[tag], recs...)
+		return
+	}
+	r.tagged[tag] = append(r.tagged[tag], recs...)
+}
+
+// fetchInputs pulls the stage's cross-stage inputs for this task.
+func (r *receiver) fetchInputs() error {
+	ps := r.ex.plan.Stages[r.spec.Stage]
+	g := r.ex.plan.Graph
+	for _, si := range ps.InputsTo(ps.Root) {
+		loc, ok := r.spec.InputLocs[si.FromStage]
+		if !ok {
+			return fmt.Errorf("runtime: receiver missing location of stage %d", si.FromStage)
+		}
+		coder, err := dataflow.OutputCoder(g.Vertex(si.FromVertex))
+		if err != nil {
+			return err
+		}
+		switch si.Dep {
+		case dag.OneToOne:
+			recs, err := r.fetchParts(si.FromStage, loc, coder, []int{r.spec.Index})
+			if err != nil {
+				return err
+			}
+			r.routeInput(si.Tag, recs, false)
+		case dag.OneToMany:
+			recs, err := r.fetchParts(si.FromStage, loc, coder, allParts(loc))
+			if err != nil {
+				return err
+			}
+			r.routeInput(si.Tag, recs, true)
+		case dag.ManyToOne:
+			recs, err := r.fetchParts(si.FromStage, loc, coder, allParts(loc))
+			if err != nil {
+				return err
+			}
+			r.routeInput(si.Tag, recs, false)
+		case dag.ManyToMany:
+			recs, err := r.fetchParts(si.FromStage, loc, coder, allParts(loc))
+			if err != nil {
+				return err
+			}
+			// Keep only this task's hash partition.
+			mine := recs[:0]
+			for _, rec := range recs {
+				if data.Partition(rec.Key, ps.RootParallelism) == r.spec.Index {
+					mine = append(mine, rec)
+				}
+			}
+			r.routeInput(si.Tag, mine, false)
+		}
+	}
+	return nil
+}
+
+func allParts(loc stageLoc) []int {
+	parts := make([]int, len(loc.Execs))
+	for i := range parts {
+		parts[i] = i
+	}
+	return parts
+}
+
+// fetchParts pulls and decodes the listed partitions of a parent stage's
+// output.
+func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, parts []int) ([]data.Record, error) {
+	var recs []data.Record
+	for _, p := range parts {
+		if p >= len(loc.Execs) {
+			return nil, fmt.Errorf("runtime: partition %d out of range for stage %d", p, fromStage)
+		}
+		payload, err := fetchBlock(r.ex.net, r.ex.id, loc.Execs[p], stageBlockID(fromStage, loc.Gen, p))
+		if err != nil {
+			return nil, err
+		}
+		r.ex.met.BytesFetched.Add(int64(len(payload)))
+		part, err := data.DecodeAll(coder, payload)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, part...)
+	}
+	return recs, nil
+}
+
+// routeInput places fetched cross-stage records: side inputs for ParDo
+// roots, accumulator folds for combine roots, tagged inputs otherwise.
+func (r *receiver) routeInput(tag string, recs []data.Record, side bool) {
+	if side {
+		if _, ok := r.root.Op.(*dataflow.ParDoOp); ok {
+			r.sides[tag] = append(r.sides[tag], recs...)
+			return
+		}
+	}
+	if r.comb != nil && tag == "" {
+		for _, rec := range recs {
+			r.table.AddRecord(rec)
+		}
+		return
+	}
+	r.tagged[tag] = append(r.tagged[tag], recs...)
+}
+
+// maybeFinalize runs the root once all inputs arrived, stores the output
+// partition, and reports completion.
+func (r *receiver) maybeFinalize() bool {
+	if r.finalized || !r.inputsOK || len(r.processed) < r.spec.Expected {
+		return false
+	}
+	r.finalized = true
+	out, err := r.runRoot()
+	if err == nil {
+		err = r.ex.throttle(len(out))
+	}
+	if err != nil {
+		if !r.ex.stopped() {
+			r.fail(err, true)
+		}
+		return true
+	}
+	coder, err := dataflow.OutputCoder(r.root)
+	if err != nil {
+		r.fail(err, true)
+		return true
+	}
+	payload, err := data.EncodeAll(coder, out)
+	if err != nil {
+		r.fail(err, true)
+		return true
+	}
+	r.ex.store.Put(stageBlockID(r.spec.Stage, r.spec.Gen, r.spec.Index), payload)
+	r.ex.send(evReservedTaskDone{Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
+		Exec: r.ex.id, Bytes: int64(len(payload))})
+	return true
+}
+
+func (r *receiver) runRoot() ([]data.Record, error) {
+	switch r.root.Op.(type) {
+	case *dataflow.CombineOp:
+		return r.table.Extract(), nil
+	case *dataflow.CreateOp, *dataflow.ParDoOp, *dataflow.MultiOp:
+		in := exec.Inputs{
+			Ext:   map[dag.VertexID]map[string][]data.Record{r.root.ID: r.tagged},
+			Sides: map[dag.VertexID]map[string][]data.Record{r.root.ID: r.sides},
+		}
+		outs, err := exec.RunFragment(r.ex.plan.Graph, []dag.VertexID{r.root.ID}, in)
+		if err != nil {
+			return nil, err
+		}
+		return outs[r.root.ID], nil
+	default:
+		return nil, fmt.Errorf("runtime: unsupported reserved root payload %T", r.root.Op)
+	}
+}

@@ -1,0 +1,271 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"pado/internal/data"
+	"pado/internal/simnet"
+)
+
+// Executor data-plane frame types.
+const (
+	framePush   = 'H' // boundary push to a receiver
+	frameFetch  = 'F' // block fetch from a local store
+	frameResult = 'R' // terminal-transient result push to the master
+	frameStore  = 'S' // block store into a local store (progress metadata)
+	respOK      = 'K'
+	respNo      = 'N'
+)
+
+// pushFrame is one boundary transfer to one reserved receiver task. It
+// may cover several sender tasks when executor-level partial aggregation
+// merged their outputs (§3.2.7); the receiver processes it only once
+// every covered task's commit has arrived through the master (§3.2.5).
+type pushFrame struct {
+	Stage    int
+	Gen      int
+	RecvIdx  int
+	Frag     int
+	Cover    []senderRef // covered (task index, attempt) pairs
+	Sections []pushSection
+}
+
+// senderRef identifies one sender task attempt.
+type senderRef struct {
+	Index   int
+	Attempt int
+}
+
+// pushSection carries the payload of one boundary edge.
+type pushSection struct {
+	Tag        string
+	Aggregated bool // payload is accumulator records, not raw records
+	Payload    []byte
+}
+
+func writePushFrame(e *data.Encoder, f *pushFrame) error {
+	if err := e.Byte(framePush); err != nil {
+		return err
+	}
+	e.Varint(int64(f.Stage))
+	e.Varint(int64(f.Gen))
+	e.Varint(int64(f.RecvIdx))
+	e.Varint(int64(f.Frag))
+	e.Uvarint(uint64(len(f.Cover)))
+	for _, c := range f.Cover {
+		e.Varint(int64(c.Index))
+		e.Varint(int64(c.Attempt))
+	}
+	e.Uvarint(uint64(len(f.Sections)))
+	for _, s := range f.Sections {
+		e.String(s.Tag)
+		b := byte(0)
+		if s.Aggregated {
+			b = 1
+		}
+		e.Byte(b)
+		if err := e.Bytes(s.Payload); err != nil {
+			return err
+		}
+	}
+	return e.Flush()
+}
+
+func readPushFrame(d *data.Decoder) (*pushFrame, error) {
+	f := &pushFrame{}
+	v, err := d.Varint()
+	if err != nil {
+		return nil, err
+	}
+	f.Stage = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	f.Gen = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	f.RecvIdx = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	f.Frag = int(v)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("runtime: push cover %d too large", n)
+	}
+	f.Cover = make([]senderRef, n)
+	for i := range f.Cover {
+		idx, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		at, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		f.Cover[i] = senderRef{Index: int(idx), Attempt: int(at)}
+	}
+	ns, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ns > 1<<16 {
+		return nil, fmt.Errorf("runtime: push sections %d too large", ns)
+	}
+	f.Sections = make([]pushSection, ns)
+	for i := range f.Sections {
+		tag, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		agg, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := d.Bytes(0)
+		if err != nil {
+			return nil, err
+		}
+		f.Sections[i] = pushSection{Tag: tag, Aggregated: agg == 1, Payload: payload}
+	}
+	return f, nil
+}
+
+// sendPush delivers a frame to the receiver's executor node and waits for
+// the acknowledgement.
+func sendPush(net *simnet.Network, from, to string, f *pushFrame) error {
+	conn, err := net.Dial(from, to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := writePushFrame(data.NewEncoder(conn), f); err != nil {
+		return err
+	}
+	d := data.NewDecoder(conn)
+	resp, err := d.Byte()
+	if err != nil {
+		return err
+	}
+	if resp != respOK {
+		return fmt.Errorf("push to %s (stage %d recv %d): %w", to, f.Stage, f.RecvIdx, errPushRejected)
+	}
+	return nil
+}
+
+// errBlockNotFound marks a fetch of a missing block.
+var errBlockNotFound = errors.New("runtime: block not found")
+
+// errPushRejected marks a push to an executor that no longer hosts the
+// receiver — a benign race with stage restarts or recovery.
+var errPushRejected = errors.New("runtime: push rejected")
+
+// fetchBlock pulls a named block from owner's local store.
+func fetchBlock(net *simnet.Network, from, owner, blockID string) ([]byte, error) {
+	conn, err := net.Dial(from, owner)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %q from %s: %w", blockID, owner, err)
+	}
+	defer conn.Close()
+	e := data.NewEncoder(conn)
+	if err := e.Byte(frameFetch); err != nil {
+		return nil, err
+	}
+	if err := e.String(blockID); err != nil {
+		return nil, err
+	}
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	d := data.NewDecoder(conn)
+	resp, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("fetch %q from %s: %w", blockID, owner, err)
+	}
+	if resp != respOK {
+		return nil, fmt.Errorf("fetch %q from %s: %w", blockID, owner, errBlockNotFound)
+	}
+	return d.Bytes(0)
+}
+
+// resultFrame is a terminal-transient stage's output push to the master.
+type resultFrame struct {
+	Stage   int
+	Gen     int
+	Index   int
+	Attempt int
+	Payload []byte
+}
+
+func sendResult(net *simnet.Network, from, masterID string, f *resultFrame) error {
+	conn, err := net.Dial(from, masterID)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	e := data.NewEncoder(conn)
+	if err := e.Byte(frameResult); err != nil {
+		return err
+	}
+	e.Varint(int64(f.Stage))
+	e.Varint(int64(f.Gen))
+	e.Varint(int64(f.Index))
+	e.Varint(int64(f.Attempt))
+	if err := e.Bytes(f.Payload); err != nil {
+		return err
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	d := data.NewDecoder(conn)
+	resp, err := d.Byte()
+	if err != nil {
+		return err
+	}
+	if resp != respOK {
+		return fmt.Errorf("runtime: result push rejected")
+	}
+	return nil
+}
+
+func readResultFrame(d *data.Decoder) (*resultFrame, error) {
+	f := &resultFrame{}
+	v, err := d.Varint()
+	if err != nil {
+		return nil, err
+	}
+	f.Stage = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	f.Gen = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	f.Index = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	f.Attempt = int(v)
+	if f.Payload, err = d.Bytes(0); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// stageBlockID names a stage-output partition block, including the stage
+// generation so recomputed outputs never collide with stale blocks.
+func stageBlockID(stage, gen, part int) string {
+	return fmt.Sprintf("so/%d/%d/%d", stage, gen, part)
+}
+
+// taskBlockID names a transient task's locally stored boundary output in
+// pull-boundary (ablation) mode.
+func taskBlockID(stage, gen, frag, task, attempt, recv int) string {
+	return fmt.Sprintf("tb/%d/%d/%d/%d/%d/%d", stage, gen, frag, task, attempt, recv)
+}

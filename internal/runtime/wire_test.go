@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/simnet"
+)
+
+func TestPushFrameRoundTrip(t *testing.T) {
+	in := &pushFrame{
+		Stage: 3, Gen: 2, RecvIdx: 1, Frag: 0,
+		Cover: []senderRef{{Index: 5, Attempt: 1}, {Index: 9, Attempt: 0}},
+		Sections: []pushSection{
+			{Tag: "", Aggregated: true, Payload: []byte("acc-data")},
+			{Tag: "side", Aggregated: false, Payload: nil},
+		},
+	}
+	var buf bytes.Buffer
+	e := data.NewEncoder(&buf)
+	if err := writePushFrame(e, in); err != nil {
+		t.Fatal(err)
+	}
+	d := data.NewDecoder(bytes.NewReader(buf.Bytes()))
+	op, err := d.Byte()
+	if err != nil || op != framePush {
+		t.Fatalf("frame type %v, %v", op, err)
+	}
+	out, err := readPushFrame(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stage != in.Stage || out.Gen != in.Gen || out.RecvIdx != in.RecvIdx || out.Frag != in.Frag {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Cover, in.Cover) {
+		t.Errorf("cover = %+v", out.Cover)
+	}
+	if len(out.Sections) != 2 || out.Sections[0].Tag != "" || !out.Sections[0].Aggregated ||
+		string(out.Sections[0].Payload) != "acc-data" || out.Sections[1].Tag != "side" {
+		t.Errorf("sections = %+v", out.Sections)
+	}
+}
+
+func TestPushFrameRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(stage, gen, recv, frag uint8, idx []uint8, payload []byte) bool {
+		in := &pushFrame{Stage: int(stage), Gen: int(gen), RecvIdx: int(recv), Frag: int(frag)}
+		for i, v := range idx {
+			in.Cover = append(in.Cover, senderRef{Index: int(v), Attempt: i % 3})
+		}
+		in.Sections = []pushSection{{Tag: "t", Payload: payload}}
+		var buf bytes.Buffer
+		e := data.NewEncoder(&buf)
+		if writePushFrame(e, in) != nil {
+			return false
+		}
+		d := data.NewDecoder(bytes.NewReader(buf.Bytes()))
+		if op, err := d.Byte(); err != nil || op != framePush {
+			return false
+		}
+		out, err := readPushFrame(d)
+		if err != nil {
+			return false
+		}
+		return out.Stage == in.Stage && len(out.Cover) == len(in.Cover) &&
+			bytes.Equal(out.Sections[0].Payload, payload)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultFrameRoundTrip(t *testing.T) {
+	in := &resultFrame{Stage: 4, Gen: 2, Index: 7, Attempt: 1, Payload: []byte{1, 2, 3}}
+	var buf bytes.Buffer
+	e := data.NewEncoder(&buf)
+	if err := e.Byte(frameResult); err != nil {
+		t.Fatal(err)
+	}
+	e.Varint(int64(in.Stage))
+	e.Varint(int64(in.Gen))
+	e.Varint(int64(in.Index))
+	e.Varint(int64(in.Attempt))
+	if err := e.Bytes(in.Payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d := data.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if op, _ := d.Byte(); op != frameResult {
+		t.Fatal("wrong frame type")
+	}
+	out, err := readResultFrame(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stage != 4 || out.Gen != 2 || out.Index != 7 || out.Attempt != 1 || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestFrameBlockRoundTrip(t *testing.T) {
+	in := &pushFrame{
+		Stage: 1, Gen: 1, RecvIdx: 0, Frag: 0,
+		Cover:    []senderRef{{Index: 2, Attempt: 1}},
+		Sections: []pushSection{{Tag: "", Payload: []byte("xyz")}},
+	}
+	blob, err := encodeFrameBlock(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeFrameBlock(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+	if _, err := decodeFrameBlock([]byte{'X'}); err == nil {
+		t.Error("expected error on bad block")
+	}
+}
+
+func TestBlockIDs(t *testing.T) {
+	if stageBlockID(1, 2, 3) == stageBlockID(1, 3, 3) {
+		t.Error("generation not encoded in block id")
+	}
+	if taskBlockID(1, 1, 0, 2, 0, 3) == taskBlockID(1, 1, 0, 2, 1, 3) {
+		t.Error("attempt not encoded in task block id")
+	}
+}
+
+func TestFetchBlockAgainstServer(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	a, err := net.AddNode("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	srv, err := net.AddNode("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := srv.Listen()
+	go func() {
+		for {
+			conn, err := l.Accept(nil)
+			if err != nil {
+				return
+			}
+			go func(conn *simnet.Conn) {
+				defer conn.Close()
+				d := data.NewDecoder(connReader{conn})
+				e := data.NewEncoder(conn)
+				for {
+					op, err := d.Byte()
+					if err != nil || op != frameFetch {
+						return
+					}
+					id, _ := d.String()
+					if id == "have" {
+						e.Byte(respOK)
+						e.Bytes([]byte("payload"))
+					} else {
+						e.Byte(respNo)
+					}
+					e.Flush()
+				}
+			}(conn)
+		}
+	}()
+
+	got, err := fetchBlock(net, "client", "server", "have")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("fetch = %q, %v", got, err)
+	}
+	if _, err := fetchBlock(net, "client", "server", "missing"); err == nil {
+		t.Error("expected not-found error")
+	}
+	if _, err := fetchBlock(net, "client", "nonexistent", "x"); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+type connReader struct{ c *simnet.Conn }
+
+func (r connReader) Read(p []byte) (int, error) { return r.c.Read(p) }
+
+var _ io.Reader = connReader{}
+
+func TestBoundaryPartition(t *testing.T) {
+	rec := data.KV("key", int64(1))
+	if boundaryPartition(dag.ManyToOne, rec, 5, 1) != 0 {
+		t.Error("many-to-one must route to task 0")
+	}
+	p := boundaryPartition(dag.ManyToMany, rec, 5, 4)
+	if p < 0 || p >= 4 {
+		t.Errorf("many-to-many partition %d out of range", p)
+	}
+	if boundaryPartition(dag.OneToOne, rec, 2, 4) != 2 {
+		t.Error("one-to-one must preserve task index")
+	}
+	if boundaryPartition(dag.OneToOne, rec, 6, 4) != 2 {
+		t.Error("one-to-one must wrap when receivers are fewer")
+	}
+}

@@ -1,0 +1,129 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrLimiterClosed is returned by Limiter.Acquire when the limiter is
+// closed while a caller is waiting for tokens.
+var ErrLimiterClosed = errors.New("simnet: limiter closed")
+
+// Limiter is a token-bucket bandwidth limiter shared by all flows entering
+// or leaving a node. Rate is in bytes per second; the bucket holds at most
+// burst bytes. A zero or negative rate means unlimited.
+//
+// Concurrent flows contend for the same bucket, so N simultaneous streams
+// through one node each see roughly rate/N throughput — exactly the
+// funneling effect that makes a small pool of reserved or storage nodes a
+// bottleneck in the paper's experiments.
+type Limiter struct {
+	mu       sync.Mutex
+	rate     float64 // bytes per second; <= 0 means unlimited
+	burst    float64
+	tokens   float64
+	last     time.Time
+	closed   bool
+	closedCh chan struct{}
+}
+
+// NewLimiter returns a Limiter with the given rate (bytes/second) and
+// burst (bytes). If burst <= 0 a default of 64KiB or rate/20, whichever is
+// larger, is used.
+func NewLimiter(rate int64, burst int64) *Limiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = 64 << 10
+		if alt := float64(rate) / 20; alt > b {
+			b = alt
+		}
+	}
+	return &Limiter{
+		rate:     float64(rate),
+		burst:    b,
+		tokens:   b,
+		last:     time.Now(),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// Unlimited reports whether the limiter performs no throttling.
+func (l *Limiter) Unlimited() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate <= 0
+}
+
+// Rate returns the configured rate in bytes per second (0 if unlimited).
+func (l *Limiter) Rate() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rate <= 0 {
+		return 0
+	}
+	return int64(l.rate)
+}
+
+// Close releases all waiters with ErrLimiterClosed and makes future
+// Acquire calls fail.
+func (l *Limiter) Close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.closedCh)
+	}
+	l.mu.Unlock()
+}
+
+// Acquire blocks until n token bytes are available, the limiter is closed,
+// or cancel is closed. Requests larger than the burst are allowed; they
+// simply wait for the bucket to pay out in full.
+func (l *Limiter) Acquire(n int, cancel <-chan struct{}) error {
+	if n <= 0 {
+		return nil
+	}
+	need := float64(n)
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return ErrLimiterClosed
+		}
+		if l.rate <= 0 {
+			l.mu.Unlock()
+			return nil
+		}
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		l.last = now
+		// Allow the bucket to go negative for oversized requests so a
+		// single large acquire is charged once rather than deadlocking.
+		cap := l.burst
+		if need > cap {
+			cap = need
+		}
+		if l.tokens > cap {
+			l.tokens = cap
+		}
+		if l.tokens >= need {
+			l.tokens -= need
+			l.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((need - l.tokens) / l.rate * float64(time.Second))
+		l.mu.Unlock()
+		if wait < 50*time.Microsecond {
+			wait = 50 * time.Microsecond
+		}
+		select {
+		case <-time.After(wait):
+		case <-l.closedCh:
+			return ErrLimiterClosed
+		case <-cancel:
+			// A nil cancel channel blocks forever, so this branch only
+			// fires for callers that provided one.
+			return ErrLimiterClosed
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// pipe is a unidirectional, latency-aware byte queue. Writers push chunks
+// tagged with a delivery time; readers block until a chunk is both present
+// and deliverable. Chunks are enqueued in write order and delivery times
+// are monotonic per pipe, so stream ordering is preserved.
+type pipe struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks []timedChunk
+	// cur holds the remainder of a partially consumed chunk.
+	cur      []byte
+	sendDone bool  // writer half-closed: drained readers see io.EOF
+	err      error // terminal error: reads and writes fail immediately
+}
+
+type timedChunk struct {
+	data []byte
+	at   time.Time
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) push(data []byte, at time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	if p.sendDone {
+		return ErrConnClosed
+	}
+	p.chunks = append(p.chunks, timedChunk{data: data, at: at})
+	p.cond.Broadcast()
+	return nil
+}
+
+func (p *pipe) read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	p.mu.Lock()
+	for {
+		if len(p.cur) > 0 {
+			n := copy(b, p.cur)
+			p.cur = p.cur[n:]
+			p.mu.Unlock()
+			return n, nil
+		}
+		if len(p.chunks) > 0 {
+			ch := p.chunks[0]
+			wait := time.Until(ch.at)
+			if wait > 0 {
+				// Honor the link latency without holding the lock.
+				p.mu.Unlock()
+				time.Sleep(wait)
+				p.mu.Lock()
+				continue
+			}
+			p.chunks = p.chunks[1:]
+			p.cur = ch.data
+			continue
+		}
+		if p.err != nil {
+			err := p.err
+			p.mu.Unlock()
+			return 0, err
+		}
+		if p.sendDone {
+			p.mu.Unlock()
+			return 0, io.EOF
+		}
+		p.cond.Wait()
+	}
+}
+
+// closeSend half-closes the pipe: no further pushes, readers drain then
+// see io.EOF.
+func (p *pipe) closeSend() {
+	p.mu.Lock()
+	p.sendDone = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// closeWithError makes subsequent reads fail with err once buffered data
+// is drained, and pushes fail immediately. A pipe already terminated keeps
+// its first error.
+func (p *pipe) closeWithError(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

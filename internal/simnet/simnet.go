@@ -1,0 +1,361 @@
+// Package simnet is an in-memory network substrate with per-node bandwidth
+// limits and per-link latency.
+//
+// The Pado paper's evaluation runs on an EC2 cluster where the decisive
+// costs are data movement costs: checkpoint traffic funneling through a
+// handful of stable-storage nodes, shuffle pulls from many executors, and
+// pushes into a small pool of reserved executors. simnet reproduces those
+// costs in-process: every node has an egress and an ingress token bucket
+// shared by all of its flows, and every byte of every stream is charged
+// against both endpoints' buckets. Closing a node (a container eviction)
+// breaks all of its streams, mirroring the loss of a machine.
+//
+// The API is deliberately net-like: nodes Listen and Dial, and Conn is a
+// bidirectional byte stream, so higher layers read and write framed
+// messages exactly as they would over TCP.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by network operations.
+var (
+	ErrNodeDown      = errors.New("simnet: node is down")
+	ErrNoSuchNode    = errors.New("simnet: no such node")
+	ErrConnClosed    = errors.New("simnet: connection closed")
+	ErrNotListening  = errors.New("simnet: node is not listening")
+	ErrAlreadyExists = errors.New("simnet: node already exists")
+)
+
+// Config holds network-wide defaults.
+type Config struct {
+	// Latency is the one-way propagation delay applied to every chunk.
+	Latency time.Duration
+	// DefaultEgress and DefaultIngress are the per-node bandwidth limits
+	// in bytes per second applied by AddNode. Zero means unlimited.
+	DefaultEgress  int64
+	DefaultIngress int64
+	// ChunkSize is the granularity at which writes are charged against
+	// the token buckets. Defaults to 32KiB.
+	ChunkSize int
+}
+
+func (c Config) chunkSize() int {
+	if c.ChunkSize <= 0 {
+		return 32 << 10
+	}
+	return c.ChunkSize
+}
+
+// Network is a collection of nodes that can dial each other.
+type Network struct {
+	cfg   Config
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	return &Network{cfg: cfg, nodes: make(map[string]*Node)}
+}
+
+// AddNode adds a node with the network's default bandwidth limits.
+func (n *Network) AddNode(id string) (*Node, error) {
+	return n.AddNodeBW(id, n.cfg.DefaultEgress, n.cfg.DefaultIngress)
+}
+
+// AddNodeBW adds a node with explicit egress/ingress limits in bytes per
+// second (0 = unlimited).
+func (n *Network) AddNodeBW(id string, egress, ingress int64) (*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyExists, id)
+	}
+	nd := &Node{
+		id:      id,
+		net:     n,
+		egress:  NewLimiter(egress, 0),
+		ingress: NewLimiter(ingress, 0),
+		down:    make(chan struct{}),
+		conns:   make(map[*Conn]struct{}),
+	}
+	n.nodes[id] = nd
+	return nd, nil
+}
+
+// Node returns the node with the given id, or nil if absent or removed.
+func (n *Network) Node(id string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[id]
+}
+
+// RemoveNode closes the node and removes it from the network.
+func (n *Network) RemoveNode(id string) {
+	n.mu.Lock()
+	nd := n.nodes[id]
+	delete(n.nodes, id)
+	n.mu.Unlock()
+	if nd != nil {
+		nd.Close()
+	}
+}
+
+// Dial opens a stream from node `from` to node `to`. The remote endpoint
+// is delivered to to's Listener; Dial fails if to is not listening.
+func (n *Network) Dial(from, to string) (*Conn, error) {
+	n.mu.Lock()
+	src := n.nodes[from]
+	dst := n.nodes[to]
+	n.mu.Unlock()
+	if src == nil {
+		return nil, fmt.Errorf("dial from %q: %w", from, ErrNoSuchNode)
+	}
+	if dst == nil {
+		return nil, fmt.Errorf("dial to %q: %w", to, ErrNoSuchNode)
+	}
+	return src.dial(dst)
+}
+
+// Node is a network endpoint with its own bandwidth budget.
+type Node struct {
+	id  string
+	net *Network
+
+	egress  *Limiter
+	ingress *Limiter
+
+	mu       sync.Mutex
+	down     chan struct{}
+	closed   bool
+	listener *Listener
+	conns    map[*Conn]struct{}
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() string { return nd.id }
+
+// BytesSent reports the total payload bytes written by this node.
+func (nd *Node) BytesSent() int64 { return nd.bytesSent.Load() }
+
+// BytesRecv reports the total payload bytes received by this node.
+func (nd *Node) BytesRecv() int64 { return nd.bytesRecv.Load() }
+
+// Down returns a channel closed when the node goes down.
+func (nd *Node) Down() <-chan struct{} { return nd.down }
+
+// Closed reports whether the node has been closed.
+func (nd *Node) Closed() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.closed
+}
+
+// Listen starts accepting inbound connections on the node. Only one
+// listener per node is supported; calling Listen again returns the same
+// listener.
+func (nd *Node) Listen() (*Listener, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.closed {
+		return nil, ErrNodeDown
+	}
+	if nd.listener == nil {
+		nd.listener = &Listener{node: nd, ch: make(chan *Conn, 64)}
+	}
+	return nd.listener, nil
+}
+
+// Close takes the node down: all its connections fail, its listener stops
+// accepting, and pending bandwidth waiters are released. Close is
+// idempotent.
+func (nd *Node) Close() {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.closed = true
+	close(nd.down)
+	conns := make([]*Conn, 0, len(nd.conns))
+	for c := range nd.conns {
+		conns = append(conns, c)
+	}
+	nd.conns = make(map[*Conn]struct{})
+	nd.mu.Unlock()
+
+	nd.egress.Close()
+	nd.ingress.Close()
+	for _, c := range conns {
+		c.closeWithError(ErrNodeDown)
+	}
+}
+
+func (nd *Node) dial(dst *Node) (*Conn, error) {
+	dst.mu.Lock()
+	l := dst.listener
+	dstClosed := dst.closed
+	dst.mu.Unlock()
+	if dstClosed {
+		return nil, fmt.Errorf("dial to %q: %w", dst.id, ErrNodeDown)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("dial to %q: %w", dst.id, ErrNotListening)
+	}
+
+	ab := newPipe() // src -> dst
+	ba := newPipe() // dst -> src
+	local := &Conn{local: nd, remote: dst, rd: ba, wr: ab, net: nd.net}
+	remote := &Conn{local: dst, remote: nd, rd: ab, wr: ba, net: nd.net}
+	local.peer, remote.peer = remote, local
+
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil, fmt.Errorf("dial from %q: %w", nd.id, ErrNodeDown)
+	}
+	nd.conns[local] = struct{}{}
+	nd.mu.Unlock()
+
+	dst.mu.Lock()
+	if dst.closed {
+		dst.mu.Unlock()
+		nd.dropConn(local)
+		local.closeWithError(ErrNodeDown)
+		return nil, fmt.Errorf("dial to %q: %w", dst.id, ErrNodeDown)
+	}
+	dst.conns[remote] = struct{}{}
+	dst.mu.Unlock()
+
+	select {
+	case l.ch <- remote:
+	case <-dst.down:
+		nd.dropConn(local)
+		local.closeWithError(ErrNodeDown)
+		return nil, fmt.Errorf("dial to %q: %w", dst.id, ErrNodeDown)
+	}
+	return local, nil
+}
+
+func (nd *Node) dropConn(c *Conn) {
+	nd.mu.Lock()
+	delete(nd.conns, c)
+	nd.mu.Unlock()
+}
+
+// Listener accepts inbound connections for a node.
+type Listener struct {
+	node *Node
+	ch   chan *Conn
+}
+
+// Accept blocks until a connection arrives, the node goes down, or cancel
+// is closed.
+func (l *Listener) Accept(cancel <-chan struct{}) (*Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.node.down:
+		// Drain any connection racing with shutdown.
+		select {
+		case c := <-l.ch:
+			return c, nil
+		default:
+		}
+		return nil, ErrNodeDown
+	case <-cancel:
+		return nil, ErrConnClosed
+	}
+}
+
+// Conn is one endpoint of a bidirectional stream between two nodes.
+type Conn struct {
+	local  *Node
+	remote *Node
+	peer   *Conn
+	net    *Network
+	rd     *pipe // data flowing toward this endpoint
+	wr     *pipe // data flowing away from this endpoint
+
+	closeOnce sync.Once
+}
+
+// LocalID and RemoteID identify the endpoints.
+func (c *Conn) LocalID() string  { return c.local.id }
+func (c *Conn) RemoteID() string { return c.remote.id }
+
+// Write sends b to the remote endpoint, charging the local egress and
+// remote ingress token buckets chunk by chunk. It blocks while bandwidth
+// is unavailable and fails if either node goes down or the stream closes.
+func (c *Conn) Write(b []byte) (int, error) {
+	chunk := c.net.cfg.chunkSize()
+	latency := c.net.cfg.Latency
+	written := 0
+	for len(b) > 0 {
+		n := len(b)
+		if n > chunk {
+			n = chunk
+		}
+		if err := c.local.egress.Acquire(n, c.local.down); err != nil {
+			return written, c.writeErr(err)
+		}
+		if err := c.remote.ingress.Acquire(n, c.remote.down); err != nil {
+			return written, c.writeErr(err)
+		}
+		data := make([]byte, n)
+		copy(data, b[:n])
+		if err := c.wr.push(data, time.Now().Add(latency)); err != nil {
+			return written, err
+		}
+		c.local.bytesSent.Add(int64(n))
+		c.remote.bytesRecv.Add(int64(n))
+		written += n
+		b = b[n:]
+	}
+	return written, nil
+}
+
+func (c *Conn) writeErr(err error) error {
+	if errors.Is(err, ErrLimiterClosed) {
+		return ErrNodeDown
+	}
+	return err
+}
+
+// Read reads available bytes, honoring the per-chunk delivery latency.
+func (c *Conn) Read(b []byte) (int, error) {
+	return c.rd.read(b)
+}
+
+// Close shuts down both directions of the stream. The remote side sees EOF
+// on reads of data written before Close and ErrConnClosed afterwards.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.closeSend()
+		c.rd.closeWithError(ErrConnClosed)
+		c.local.dropConn(c)
+		c.remote.dropConn(c.peer)
+	})
+	return nil
+}
+
+// CloseWrite half-closes the stream: the remote reader drains buffered
+// data and then sees EOF, while this endpoint can continue reading.
+func (c *Conn) CloseWrite() error {
+	c.wr.closeSend()
+	return nil
+}
+
+func (c *Conn) closeWithError(err error) {
+	c.wr.closeWithError(err)
+	c.rd.closeWithError(err)
+}

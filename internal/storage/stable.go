@@ -1,0 +1,236 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"pado/internal/data"
+	"pado/internal/simnet"
+)
+
+// Stable storage wire protocol op codes.
+const (
+	opPut  = 'P'
+	opGet  = 'G'
+	respOK = 'K'
+	respNo = 'N'
+)
+
+// Service is a non-replicated stable-storage cluster (the GlusterFS/HDFS
+// substitute of §5.1.2). Each participating node runs a server loop;
+// blocks are assigned to nodes by key hash, so N storage nodes share the
+// load — and bound the aggregate bandwidth, which is precisely the
+// bottleneck the paper attributes to checkpoint-based recovery.
+type Service struct {
+	nodes  []*simnet.Node
+	stores []*LocalStore
+	disks  []*simnet.Limiter // nil entries = unlimited disk
+
+	mu      sync.Mutex
+	started bool
+}
+
+// NewService creates a service over the given nodes (typically the
+// reserved nodes of the cluster).
+func NewService(nodes []*simnet.Node) *Service {
+	return NewServiceDisk(nodes, 0)
+}
+
+// NewServiceDisk creates a service whose nodes are additionally limited
+// by per-node disk bandwidth (bytes/second; 0 = unlimited). Unlike the
+// engines' in-memory local stores, a distributed filesystem writes and
+// reads its blocks through disk, which is part of why the paper's
+// checkpoint baseline pays so dearly at the storage nodes (§5.2.1).
+func NewServiceDisk(nodes []*simnet.Node, diskBW int64) *Service {
+	stores := make([]*LocalStore, len(nodes))
+	disks := make([]*simnet.Limiter, len(nodes))
+	for i := range stores {
+		stores[i] = NewLocalStore()
+		if diskBW > 0 {
+			disks[i] = simnet.NewLimiter(diskBW, 0)
+		}
+	}
+	return &Service{nodes: nodes, stores: stores, disks: disks}
+}
+
+// NodeIDs returns the storage node ids in service order.
+func (s *Service) NodeIDs() []string {
+	ids := make([]string, len(s.nodes))
+	for i, n := range s.nodes {
+		ids[i] = n.ID()
+	}
+	return ids
+}
+
+// UsedBytes reports the total bytes stored across all storage nodes.
+func (s *Service) UsedBytes() int64 {
+	var sum int64
+	for _, st := range s.stores {
+		sum += st.UsedBytes()
+	}
+	return sum
+}
+
+// Start launches the server loop on every storage node.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("storage: service already started")
+	}
+	s.started = true
+	for i, n := range s.nodes {
+		l, err := n.Listen()
+		if err != nil {
+			return fmt.Errorf("storage: node %s: %w", n.ID(), err)
+		}
+		go s.serve(l, s.stores[i], s.disks[i], n)
+	}
+	return nil
+}
+
+func (s *Service) serve(l *simnet.Listener, store *LocalStore, disk *simnet.Limiter, node *simnet.Node) {
+	for {
+		conn, err := l.Accept(nil)
+		if err != nil {
+			return
+		}
+		go handleConn(conn, store, disk)
+	}
+}
+
+func handleConn(conn *simnet.Conn, store *LocalStore, disk *simnet.Limiter) {
+	defer conn.Close()
+	d := data.NewDecoder(conn)
+	e := data.NewEncoder(conn)
+	for {
+		op, err := d.Byte()
+		if err != nil {
+			return
+		}
+		switch op {
+		case opPut:
+			key, err := d.String()
+			if err != nil {
+				return
+			}
+			payload, err := d.Bytes(0)
+			if err != nil {
+				return
+			}
+			if disk != nil {
+				if disk.Acquire(len(payload), nil) != nil {
+					return
+				}
+			}
+			store.Put(key, payload)
+			if e.Byte(respOK) != nil || e.Flush() != nil {
+				return
+			}
+		case opGet:
+			key, err := d.String()
+			if err != nil {
+				return
+			}
+			payload, ok := store.Get(key)
+			if !ok {
+				if e.Byte(respNo) != nil || e.Flush() != nil {
+					return
+				}
+				continue
+			}
+			if disk != nil {
+				if disk.Acquire(len(payload), nil) != nil {
+					return
+				}
+			}
+			if e.Byte(respOK) != nil || e.Bytes(payload) != nil || e.Flush() != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Client accesses the stable storage service from one cluster node. A
+// client is safe for concurrent use; each operation opens its own stream
+// so concurrent transfers contend for bandwidth realistically.
+type Client struct {
+	net   *simnet.Network
+	from  string
+	nodes []string
+}
+
+// NewClient returns a client dialing from the named node.
+func NewClient(net *simnet.Network, from string, svc *Service) *Client {
+	return &Client{net: net, from: from, nodes: svc.NodeIDs()}
+}
+
+func (c *Client) nodeFor(key string) string {
+	return c.nodes[int(data.HashKey(key)%uint64(len(c.nodes)))]
+}
+
+// Put stores a block on the storage node responsible for key.
+func (c *Client) Put(key string, payload []byte) error {
+	conn, err := c.net.Dial(c.from, c.nodeFor(key))
+	if err != nil {
+		return fmt.Errorf("storage put %q: %w", key, err)
+	}
+	defer conn.Close()
+	e := data.NewEncoder(conn)
+	if err := e.Byte(opPut); err != nil {
+		return err
+	}
+	if err := e.String(key); err != nil {
+		return err
+	}
+	if err := e.Bytes(payload); err != nil {
+		return err
+	}
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	d := data.NewDecoder(conn)
+	resp, err := d.Byte()
+	if err != nil {
+		return fmt.Errorf("storage put %q: %w", key, err)
+	}
+	if resp != respOK {
+		return fmt.Errorf("storage put %q: rejected", key)
+	}
+	return nil
+}
+
+// Get fetches a block. Missing blocks return ErrNotFound.
+func (c *Client) Get(key string) ([]byte, error) {
+	conn, err := c.net.Dial(c.from, c.nodeFor(key))
+	if err != nil {
+		return nil, fmt.Errorf("storage get %q: %w", key, err)
+	}
+	defer conn.Close()
+	e := data.NewEncoder(conn)
+	if err := e.Byte(opGet); err != nil {
+		return nil, err
+	}
+	if err := e.String(key); err != nil {
+		return nil, err
+	}
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	d := data.NewDecoder(conn)
+	resp, err := d.Byte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("storage get %q: connection closed", key)
+		}
+		return nil, err
+	}
+	if resp == respNo {
+		return nil, ErrNotFound{Key: key}
+	}
+	return d.Bytes(0)
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"pado/internal/data"
+	"pado/internal/dataflow"
+)
+
+// MRConfig sizes the page-view aggregation workload (the stand-in for the
+// paper's 280GB Wikipedia page-view dump: hourly per-document view counts
+// summed per document over the whole period).
+type MRConfig struct {
+	Partitions   int
+	LinesPerPart int
+	Docs         int
+	Seed         int64
+	ReducePar    int // informational; the engine config decides
+	HeavyDocSkew float64
+}
+
+// DefaultMRConfig returns a laptop-scale MR workload.
+func DefaultMRConfig() MRConfig {
+	return MRConfig{Partitions: 80, LinesPerPart: 3000, Docs: 20000, Seed: 11}
+}
+
+// MRSource generates the synthetic page-view log: each line is
+// "doc<id> <count>", Zipf-skewed over documents like real page views.
+func MRSource(cfg MRConfig) dataflow.Source {
+	return &dataflow.FuncSource{
+		Partitions: cfg.Partitions,
+		Gen: func(p int) []data.Record {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*7919))
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(cfg.Docs-1))
+			recs := make([]data.Record, cfg.LinesPerPart)
+			for i := range recs {
+				doc := zipf.Uint64()
+				count := rng.Intn(1000)
+				recs[i] = data.Record{Value: fmt.Sprintf("doc%07d %d", doc, count)}
+			}
+			return recs
+		},
+	}
+}
+
+// mrParseFn parses one log line and emits (doc, count).
+type mrParseFn struct{}
+
+func (mrParseFn) Process(r data.Record, _ dataflow.SideValues, emit dataflow.Emit) error {
+	line := r.Value.(string)
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return fmt.Errorf("workloads: malformed line %q", line)
+	}
+	n, err := strconv.ParseInt(line[sp+1:], 10, 64)
+	if err != nil {
+		return err
+	}
+	emit(data.KV(line[:sp], n))
+	return nil
+}
+
+// MR builds the Map-Reduce pipeline of Figure 3(a): Read -> Map (parse)
+// -> Reduce (sum per document).
+func MR(cfg MRConfig) *dataflow.Pipeline {
+	p := dataflow.NewPipeline()
+	lines := p.Read("read-pageviews", MRSource(cfg), LineCoder)
+	counts := lines.ParDo("parse", mrParseFn{}, CountCoder)
+	counts.CombinePerKey("sum-views", dataflow.SumInt64Fn{}, CountCoder,
+		dataflow.WithAccumulatorCoder(CountCoder))
+	return p
+}
+
+// MRReference computes the expected per-document sums sequentially.
+func MRReference(cfg MRConfig) map[string]int64 {
+	src := MRSource(cfg).(*dataflow.FuncSource)
+	out := make(map[string]int64)
+	for p := 0; p < cfg.Partitions; p++ {
+		for _, r := range src.Gen(p) {
+			line := r.Value.(string)
+			sp := strings.IndexByte(line, ' ')
+			n, _ := strconv.ParseInt(line[sp+1:], 10, 64)
+			out[line[:sp]] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package workloads implements the paper's three evaluation applications
+// (§5.1.3) against the dataflow API, with deterministic synthetic dataset
+// generators standing in for the Wikipedia page-view dump, the
+// Petuum-style sparse training matrix, and the Yahoo! Music ratings:
+//
+//   - MR: page-view count aggregation (Map-Reduce);
+//   - MLR: multinomial logistic regression by mini-batch-free full
+//     gradient descent with per-partition gradient aggregation;
+//   - ALS: alternating least squares matrix factorization.
+//
+// Every workload provides a Reference implementation — a sequential
+// in-memory evaluation of the same pipeline — used by tests to verify
+// that each engine computes the right answer under evictions.
+package workloads
+
+import (
+	"fmt"
+
+	"pado/internal/data"
+)
+
+// Rating is one (user, item, score) observation of the ALS dataset.
+type Rating struct {
+	User  int64
+	Item  int64
+	Score float64
+}
+
+// RatingCoder encodes Record{Key: nil, Value: Rating}.
+var RatingCoder data.Coder = ratingCoder{}
+
+type ratingCoder struct{}
+
+func (ratingCoder) Name() string { return "rating" }
+func (ratingCoder) EncodeRecord(e *data.Encoder, r data.Record) error {
+	v, ok := r.Value.(Rating)
+	if !ok {
+		return fmt.Errorf("workloads: expected Rating, got %T", r.Value)
+	}
+	if err := e.Varint(v.User); err != nil {
+		return err
+	}
+	if err := e.Varint(v.Item); err != nil {
+		return err
+	}
+	return e.Float64(v.Score)
+}
+func (ratingCoder) DecodeRecord(d *data.Decoder) (data.Record, error) {
+	var v Rating
+	var err error
+	if v.User, err = d.Varint(); err != nil {
+		return data.Record{}, err
+	}
+	if v.Item, err = d.Varint(); err != nil {
+		return data.Record{}, err
+	}
+	if v.Score, err = d.Float64(); err != nil {
+		return data.Record{}, err
+	}
+	return data.Record{Value: v}, nil
+}
+
+// Entry is an (id, score) pair: an item rating grouped under a user, or a
+// user rating grouped under an item.
+type Entry struct {
+	ID    int64
+	Score float64
+}
+
+// EntryListCoder encodes Record{Key: int64, Value: []Entry} — the grouped
+// rating lists produced by the ALS aggregation operators.
+var EntryListCoder data.Coder = entryListCoder{}
+
+type entryListCoder struct{}
+
+func (entryListCoder) Name() string { return "kv<int64,[]entry>" }
+func (entryListCoder) EncodeRecord(e *data.Encoder, r data.Record) error {
+	key, ok := r.Key.(int64)
+	if !ok {
+		return fmt.Errorf("workloads: expected int64 key, got %T", r.Key)
+	}
+	list, ok := r.Value.([]Entry)
+	if !ok {
+		return fmt.Errorf("workloads: expected []Entry, got %T", r.Value)
+	}
+	if err := e.Varint(key); err != nil {
+		return err
+	}
+	if err := e.Uvarint(uint64(len(list))); err != nil {
+		return err
+	}
+	for _, en := range list {
+		if err := e.Varint(en.ID); err != nil {
+			return err
+		}
+		if err := e.Float64(en.Score); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (entryListCoder) DecodeRecord(d *data.Decoder) (data.Record, error) {
+	key, err := d.Varint()
+	if err != nil {
+		return data.Record{}, err
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return data.Record{}, err
+	}
+	if n > 1<<28 {
+		return data.Record{}, fmt.Errorf("workloads: entry list too long")
+	}
+	list := make([]Entry, n)
+	for i := range list {
+		if list[i].ID, err = d.Varint(); err != nil {
+			return data.Record{}, err
+		}
+		if list[i].Score, err = d.Float64(); err != nil {
+			return data.Record{}, err
+		}
+	}
+	return data.Record{Key: key, Value: list}, nil
+}
+
+// Sample is one sparse training sample of the MLR dataset.
+type Sample struct {
+	Label int64
+	Idx   []int64
+	Val   []float64
+}
+
+// SampleCoder encodes Record{Key: nil, Value: Sample}.
+var SampleCoder data.Coder = sampleCoder{}
+
+type sampleCoder struct{}
+
+func (sampleCoder) Name() string { return "sample" }
+func (sampleCoder) EncodeRecord(e *data.Encoder, r data.Record) error {
+	s, ok := r.Value.(Sample)
+	if !ok {
+		return fmt.Errorf("workloads: expected Sample, got %T", r.Value)
+	}
+	if err := e.Varint(s.Label); err != nil {
+		return err
+	}
+	if len(s.Idx) != len(s.Val) {
+		return fmt.Errorf("workloads: sample idx/val length mismatch")
+	}
+	if err := e.Uvarint(uint64(len(s.Idx))); err != nil {
+		return err
+	}
+	for i := range s.Idx {
+		if err := e.Varint(s.Idx[i]); err != nil {
+			return err
+		}
+		if err := e.Float64(s.Val[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (sampleCoder) DecodeRecord(d *data.Decoder) (data.Record, error) {
+	var s Sample
+	var err error
+	if s.Label, err = d.Varint(); err != nil {
+		return data.Record{}, err
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return data.Record{}, err
+	}
+	if n > 1<<28 {
+		return data.Record{}, fmt.Errorf("workloads: sample too long")
+	}
+	s.Idx = make([]int64, n)
+	s.Val = make([]float64, n)
+	for i := uint64(0); i < n; i++ {
+		if s.Idx[i], err = d.Varint(); err != nil {
+			return data.Record{}, err
+		}
+		if s.Val[i], err = d.Float64(); err != nil {
+			return data.Record{}, err
+		}
+	}
+	return data.Record{Value: s}, nil
+}
+
+// Coders shared by the pipelines.
+var (
+	// LineCoder carries raw input lines (MR's pre-parse records).
+	LineCoder = data.KVCoder{K: data.NilCoder, V: data.StringCoder}
+	// CountCoder carries (doc, count) pairs.
+	CountCoder = data.KVCoder{K: data.StringCoder, V: data.Int64Coder}
+	// VecCoder carries keyless dense vectors (models, gradients).
+	VecCoder = data.KVCoder{K: data.NilCoder, V: data.Float64sCoder}
+	// FactorCoder carries (id, factor vector) pairs.
+	FactorCoder = data.KVCoder{K: data.Int64Coder, V: data.Float64sCoder}
+)
