@@ -32,6 +32,7 @@ func main() {
 	timeout := flag.Float64("timeout", 90, "timeout in paper minutes")
 	seed := flag.Int64("seed", 424242, "experiment seed")
 	repeats := flag.Int("repeats", 1, "average each cell over this many seeds")
+	traceDir := flag.String("tracedir", "", "write per-run Chrome traces and timelines into this directory")
 	noAgg := flag.Bool("pado-noagg", false, "disable Pado partial aggregation")
 	noCache := flag.Bool("pado-nocache", false, "disable Pado task input caching")
 	pull := flag.Bool("pado-pull", false, "Pado ablation: pull-based stage boundaries")
@@ -47,6 +48,7 @@ func main() {
 		TimeoutMinutes: *timeout,
 		Seed:           *seed,
 		Repeats:        *repeats,
+		TraceDir:       *traceDir,
 	}
 	if *noAgg || *noCache || *pull || *aggMax != 0 || *padoReduce != 0 {
 		base.PadoConfig = func(cfg *runtime.Config) {

@@ -3,6 +3,11 @@
 // sample of the output — a quick way to poke at the system.
 //
 //	padorun -workload mr -engine pado -rate high -plan
+//	padorun -trace out.json -timeline -
+//
+// -trace writes the run's event stream in Chrome trace_event format
+// (load it at chrome://tracing or https://ui.perfetto.dev); -timeline
+// writes a plain-text per-stage timeline ("-" for stdout).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
+	"pado/internal/obs"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -29,7 +35,7 @@ import (
 func main() {
 	engine := flag.String("engine", "pado", "engine: pado, spark, spark-checkpoint")
 	workload := flag.String("workload", "mr", "workload: mr, mlr, als")
-	rate := flag.String("rate", "none", "eviction rate: none, low, medium, high")
+	rate := flag.String("rate", "medium", "eviction rate: none, low, medium, high")
 	transient := flag.Int("transient", 12, "transient containers")
 	reserved := flag.Int("reserved", 3, "reserved containers")
 	scaleMS := flag.Int("scale", 50, "wall milliseconds per paper minute")
@@ -37,6 +43,8 @@ func main() {
 	showPlan := flag.Bool("plan", false, "print the compiled plan (placements and stages)")
 	dot := flag.Bool("dot", false, "print the placed logical DAG in Graphviz format")
 	sample := flag.Int("sample", 5, "output records to print")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (\"-\" for stdout)")
+	timelineOut := flag.String("timeline", "", "write a plain-text per-stage timeline to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	var r trace.Rate
@@ -99,13 +107,19 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
+	var tracer *obs.Tracer
+	if *traceOut != "" || *timelineOut != "" {
+		tracer = obs.New()
+	}
+
 	var outputs map[dag.VertexID][]data.Record
 	var jct time.Duration
 	var relaunched, evictions int64
 	switch strings.ToLower(*engine) {
 	case "pado":
 		res, err := runtime.Run(ctx, cl, pipe.Graph(), runtime.Config{
-			Plan: core.PlanConfig{ReduceParallelism: 2 * *reserved},
+			Plan:   core.PlanConfig{ReduceParallelism: 2 * *reserved},
+			Tracer: tracer,
 		})
 		if err != nil {
 			fatalf("run: %v", err)
@@ -116,6 +130,7 @@ func main() {
 		res, err := sparklike.Run(ctx, cl, pipe.Graph(), sparklike.Config{
 			Checkpoint: strings.Contains(*engine, "checkpoint"),
 			Plan:       core.PlanConfig{ReduceParallelism: 2 * *reserved},
+			Tracer:     tracer,
 		})
 		if err != nil {
 			fatalf("run: %v", err)
@@ -124,6 +139,24 @@ func main() {
 		relaunched, evictions = res.Metrics.RelaunchedTasks, res.Metrics.Evictions
 	default:
 		fatalf("unknown engine %q", *engine)
+	}
+
+	if tracer != nil {
+		events := tracer.Events()
+		if *traceOut != "" {
+			if err := writeExport(*traceOut, func(w *os.File) error {
+				return obs.WriteChromeTrace(w, events, scale)
+			}); err != nil {
+				fatalf("trace: %v", err)
+			}
+		}
+		if *timelineOut != "" {
+			if err := writeExport(*timelineOut, func(w *os.File) error {
+				return obs.WriteTimeline(w, events, scale)
+			}); err != nil {
+				fatalf("timeline: %v", err)
+			}
+		}
 	}
 
 	fmt.Printf("engine=%s workload=%s rate=%s: jct=%.1f paper-min (%v wall), evictions=%d, relaunched=%d\n",
@@ -183,6 +216,21 @@ func printPlan(plan *core.Plan) {
 		fmt.Printf("  stage %d: root=%s (%s, %d tasks), %d fragment(s), %d cross-stage input(s)\n",
 			ps.ID, g.Vertex(ps.Root).Name, kind, ps.RootParallelism, len(ps.Fragments), len(ps.Inputs))
 	}
+}
+
+func writeExport(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -66,7 +67,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := pado.Run(context.Background(), cl, p, pado.Config{})
+	// A tracer records the run's structured event stream; at the end we
+	// print the per-stage timeline it captured.
+	tracer := pado.NewTracer()
+	res, err := pado.Run(context.Background(), cl, p, pado.Config{Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,4 +91,9 @@ func main() {
 	}
 	fmt.Printf("\njct=%v evictions=%d relaunched tasks=%d\n",
 		res.Metrics.JCT, res.Metrics.Evictions, res.Metrics.RelaunchedTasks)
+
+	fmt.Println()
+	if err := pado.WriteTimeline(os.Stdout, tracer.Events(), vtime.Scale{}); err != nil {
+		log.Fatal(err)
+	}
 }

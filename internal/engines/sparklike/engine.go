@@ -11,6 +11,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/metrics"
+	"pado/internal/obs"
 	"pado/internal/recache"
 	"pado/internal/simnet"
 	"pado/internal/storage"
@@ -20,6 +21,10 @@ import (
 type Config struct {
 	// Plan carries physical-planning knobs (reduce parallelism).
 	Plan core.PlanConfig
+	// Tracer, when non-nil, records the run's structured event stream
+	// with the same schema the Pado runtime emits, so traces from both
+	// engines are directly comparable. Nil disables tracing.
+	Tracer *obs.Tracer
 	// Checkpoint enables the Spark-checkpoint baseline: stage outputs
 	// are asynchronously checkpointed to a stable-storage service on
 	// the reserved nodes, and children pull from that service. Without
@@ -136,6 +141,7 @@ type master struct {
 	cl   *cluster.Cluster
 	net  *simnet.Network
 	met  *metrics.Job
+	tr   *obs.Buf // trace buffer (nil = tracing off); Emit is mutex-guarded
 
 	events chan event
 
@@ -168,8 +174,10 @@ func Run(ctx context.Context, cl *cluster.Cluster, g *dag.Graph, cfg Config) (*R
 		return nil, err
 	}
 	met := &metrics.Job{}
+	cfg.Tracer.FeedCounters(met)
 	m := &master{
 		cfg: cfg, plan: plan, cl: cl, net: cl.Net(), met: met,
+		tr:          cfg.Tracer.Buf(),
 		events:      make(chan event, cfg.eventQueue()),
 		execs:       make(map[string]*executor),
 		slotsFree:   make(map[string]int),
@@ -292,6 +300,7 @@ func (m *master) onLaunched(c *cluster.Container) {
 	if err != nil {
 		return
 	}
+	m.tr.Emit(obs.Event{Kind: obs.ContainerUp, Exec: c.ID, Note: c.Kind.String()})
 	m.execs[c.ID] = ex
 	m.order = append(m.order, c.ID)
 	m.slotsFree[c.ID] = c.Slots
@@ -302,6 +311,7 @@ func (m *master) onGone(c *cluster.Container) {
 		return
 	}
 	m.met.Evictions.Add(1)
+	m.tr.Emit(obs.Event{Kind: obs.ContainerEvicted, Exec: c.ID})
 	if ex := m.execs[c.ID]; ex != nil {
 		ex.shutdown()
 	}
@@ -327,15 +337,15 @@ func (m *master) onGone(c *cluster.Container) {
 	// the notification and burn shuffle-fetch retries against the dead
 	// node first.
 	for _, s := range m.stages {
-		for _, t := range s.tasks {
+		for i, t := range s.tasks {
 			if t.exec != c.ID {
 				continue
 			}
 			switch {
 			case t.state == tRunning:
-				m.requeue(t)
+				m.requeue(s.ps.ID, i, t)
 			case t.state == tDone && !(m.cfg.Checkpoint && t.ck):
-				m.requeue(t)
+				m.requeue(s.ps.ID, i, t)
 			}
 		}
 	}
@@ -351,12 +361,13 @@ func removeString(s []string, v string) []string {
 	return out
 }
 
-func (m *master) requeue(t *sTask) {
+func (m *master) requeue(stage, index int, t *sTask) {
 	t.state = tWaiting
 	t.exec = ""
 	t.ck = false
 	t.attempt++
 	m.met.RelaunchedTasks.Add(1)
+	m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: stage, Task: index, Attempt: t.attempt})
 }
 
 func (m *master) taskAt(ref taskRef) (*sStageRun, *sTask) {
@@ -391,6 +402,20 @@ func (m *master) onTaskDone(e evTaskDone) {
 	}
 	t.state = tDone
 	t.exec = e.Exec
+	m.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: e.ref.Stage, Task: e.ref.Index,
+		Attempt: e.ref.Attempt, Exec: e.Exec})
+	if s, _ := m.taskAt(e.ref); s != nil {
+		done := true
+		for _, st := range s.tasks {
+			if st.state != tDone {
+				done = false
+				break
+			}
+		}
+		if done {
+			m.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
+		}
+	}
 	m.checkDone()
 }
 
@@ -400,6 +425,8 @@ func (m *master) onCheckpointed(e evCheckpointed) {
 		return
 	}
 	t.ck = true
+	m.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: e.ref.Stage, Task: e.ref.Index,
+		Attempt: e.ref.Attempt, Exec: t.exec, Note: "checkpoint"})
 }
 
 func (m *master) onTaskFailed(e evTaskFailed) {
@@ -417,7 +444,9 @@ func (m *master) onTaskFailed(e evTaskFailed) {
 		m.abort(fmt.Errorf("sparklike: task %v failed %d times: %w", e.ref, t.fails, e.Err))
 		return
 	}
-	m.requeue(t)
+	m.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: e.ref.Stage, Task: e.ref.Index,
+		Attempt: e.ref.Attempt, Exec: e.Exec, Note: e.Err.Error()})
+	m.requeue(e.ref.Stage, e.ref.Index, t)
 }
 
 // onFetchFailed is the lineage path: the consumer retries and the lost
@@ -435,9 +464,9 @@ func (m *master) onFetchFailed(e evFetchFailed) {
 		// DAGScheduler): sibling tasks still running under this
 		// attempt are abandoned and re-run after the parents are
 		// fixed. Their in-flight work is wasted.
-		for _, st := range s.tasks {
+		for i, st := range s.tasks {
 			if st.state == tRunning {
-				m.requeue(st)
+				m.requeue(s.ps.ID, i, st)
 			}
 		}
 	}
@@ -452,9 +481,9 @@ func (m *master) onFetchFailed(e evFetchFailed) {
 				if s.ps.Driver {
 					continue
 				}
-				for _, t := range s.tasks {
+				for i, t := range s.tasks {
 					if t.exec == e.Owner && t.state == tDone && !(m.cfg.Checkpoint && t.ck) {
-						m.requeue(t)
+						m.requeue(s.ps.ID, i, t)
 					}
 				}
 			}
@@ -483,7 +512,7 @@ func (m *master) onFetchFailed(e evFetchFailed) {
 			}
 		}
 		if !available {
-			m.requeue(pt)
+			m.requeue(e.FromStage, e.Part, pt)
 		}
 	}
 }
@@ -537,7 +566,7 @@ func (m *master) inputsReady(s *sStageRun, i int) (map[int][]string, bool) {
 					if _, alive := m.execs[t.exec]; !alive {
 						// The un-checkpointed output died with its
 						// executor; rewrite it.
-						m.requeue(t)
+						m.requeue(si.FromStage, p, t)
 					}
 					return nil, false
 				}
@@ -631,11 +660,14 @@ func (m *master) schedule() {
 			if !s.started {
 				s.started = true
 				m.met.OriginalTasks.Add(int64(len(s.tasks)))
+				m.tr.Emit(obs.Event{Kind: obs.StageScheduled, Stage: s.ps.ID})
 			}
 			spec := sTaskSpec{Stage: s.ps.ID, Index: i, Attempt: t.attempt, InputLocs: locs}
 			if s.ps.Driver {
 				t.state = tRunning
 				t.exec = driverLoc
+				m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Task: i,
+					Attempt: t.attempt, Exec: driverLoc})
 				m.runDriverTask(spec)
 				continue
 			}
@@ -646,6 +678,8 @@ func (m *master) schedule() {
 			t.state = tRunning
 			t.exec = exec
 			m.slotsFree[exec]--
+			m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Task: i,
+				Attempt: t.attempt, Exec: exec})
 			m.assignments[spec.ref()] = exec
 			m.execs[exec].Launch(spec)
 		}
@@ -680,7 +714,7 @@ func (m *master) pickExecutor(ps *SStage, taskIdx int) string {
 // like Spark's driver-side aggregation; the driver is never evicted.
 func (m *master) runDriverTask(spec sTaskSpec) {
 	env := taskEnv{
-		execID: driverLoc, net: m.net, plan: m.plan, cfg: m.cfg, met: m.met,
+		execID: driverLoc, net: m.net, plan: m.plan, cfg: m.cfg, met: m.met, tr: m.tr,
 		store: m.driverStore, cache: nil, ck: m.driverCk,
 		send:      func(ev event) { m.events <- ev },
 		stopped:   func() bool { return false },
@@ -720,7 +754,7 @@ func (m *master) checkDone() {
 			case m.cfg.Checkpoint:
 				if !t.ck {
 					if _, alive := m.execs[t.exec]; !alive {
-						m.requeue(t)
+						m.requeue(s.ps.ID, i, t)
 					}
 					return
 				}

@@ -12,6 +12,7 @@ import (
 	"pado/internal/dataflow"
 	"pado/internal/exec"
 	"pado/internal/metrics"
+	"pado/internal/obs"
 	"pado/internal/recache"
 	"pado/internal/simnet"
 	"pado/internal/storage"
@@ -130,6 +131,7 @@ type executor struct {
 	plan   *SPlan
 	cfg    Config
 	met    *metrics.Job
+	tr     *obs.Buf // per-executor trace buffer (nil = tracing off)
 	events chan<- event
 	store  *storage.LocalStore
 	cache  *recache.Cache
@@ -146,6 +148,7 @@ func newExecutor(id string, node *simnet.Node, net *simnet.Network, plan *SPlan,
 
 	ex := &executor{
 		id: id, node: node, net: net, plan: plan, cfg: cfg, met: met,
+		tr:     cfg.Tracer.Buf(),
 		events: events,
 		store:  storage.NewLocalStore(),
 		cache:  recache.New(cfg.cacheCapacity()),
@@ -190,7 +193,7 @@ func (ex *executor) send(ev event) {
 func (ex *executor) Launch(spec sTaskSpec) {
 	go func() {
 		if err := runTask(taskEnv{
-			execID: ex.id, net: ex.net, plan: ex.plan, cfg: ex.cfg, met: ex.met,
+			execID: ex.id, net: ex.net, plan: ex.plan, cfg: ex.cfg, met: ex.met, tr: ex.tr,
 			store: ex.store, cache: ex.cache, flight: ex.flight, cpu: ex.cpu, ck: ex.ck,
 			stop: ex.stop, send: ex.send, stopped: ex.stopped, cacheable: true,
 		}, spec); err != nil && !ex.stopped() {
@@ -206,6 +209,7 @@ type taskEnv struct {
 	plan      *SPlan
 	cfg       Config
 	met       *metrics.Job
+	tr        *obs.Buf
 	store     *storage.LocalStore
 	cache     *recache.Cache
 	flight    *recache.Flight
@@ -264,7 +268,7 @@ func runTask(env taskEnv, spec sTaskSpec) error {
 	for _, opID := range st.Ops {
 		if rd, ok := g.Vertex(opID).Op.(*dataflow.ReadOp); ok {
 			opID, rd := opID, rd
-			in.Read[opID] = func() (dataflow.Iterator, error) { return env.openRead(opID, rd, spec.Index) }
+			in.Read[opID] = func() (dataflow.Iterator, error) { return env.openRead(st.ID, opID, rd, spec.Index) }
 		}
 		for _, si := range st.InputsTo(opID) {
 			if err := env.fetchInput(st, si, spec, in); err != nil {
@@ -321,6 +325,8 @@ func runTask(env taskEnv, spec sTaskSpec) error {
 	// boundaries). The commit event fires only when all copies landed.
 	if env.ck != nil && !st.Driver {
 		go func() {
+			env.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: spec.Stage, Task: spec.Index,
+				Attempt: spec.Attempt, Exec: env.execID, Note: "checkpoint"})
 			for _, id := range ckBlocks {
 				payload, ok := env.store.Get(id)
 				if !ok {
@@ -337,15 +343,19 @@ func runTask(env taskEnv, spec sTaskSpec) error {
 	return nil
 }
 
-func (env taskEnv) openRead(opID dag.VertexID, rd *dataflow.ReadOp, part int) (dataflow.Iterator, error) {
+func (env taskEnv) openRead(stage int, opID dag.VertexID, rd *dataflow.ReadOp, part int) (dataflow.Iterator, error) {
 	useCache := rd.Cached && !env.cfg.DisableCache && env.cacheable
 	key := recache.Key{Vertex: opID, Partition: part}
 	if useCache {
 		if recs, ok := env.cache.Get(key); ok {
 			env.met.CacheHits.Add(1)
+			env.tr.Emit(obs.Event{Kind: obs.CacheHit, Stage: stage, Task: part,
+				Exec: env.execID, Note: "read"})
 			return (&dataflow.SliceSource{Parts: [][]data.Record{recs}}).Open(0)
 		}
 		env.met.CacheMisses.Add(1)
+		env.tr.Emit(obs.Event{Kind: obs.CacheMiss, Stage: stage, Task: part,
+			Exec: env.execID, Note: "read"})
 	}
 	it, err := rd.Source.Open(part)
 	if err != nil {
@@ -395,6 +405,8 @@ func (env taskEnv) fetchInput(st *SStage, si SInput, spec sTaskSpec, in exec.Inp
 		// Spark-style fetch retries: the location may be stale (the
 		// executor was evicted); the failure is only reported after
 		// the configured retries, each preceded by a wait.
+		env.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: part,
+			Task: part, Exec: env.execID})
 		var payload []byte
 		var err error
 		for attempt := 0; ; attempt++ {
@@ -412,6 +424,8 @@ func (env taskEnv) fetchInput(st *SStage, si SInput, spec sTaskSpec, in exec.Inp
 			}
 		}
 		env.met.BytesFetched.Add(int64(len(payload)))
+		env.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: si.FromStage, Frag: part,
+			Task: part, Exec: env.execID, Bytes: int64(len(payload))})
 		return data.DecodeAll(coder, payload)
 	}
 
@@ -432,10 +446,14 @@ func (env taskEnv) fetchInput(st *SStage, si SInput, spec sTaskSpec, in exec.Inp
 			key := recache.Key{Vertex: si.FromVertex, Partition: -1}
 			if cached, ok := env.cache.Get(key); ok {
 				env.met.CacheHits.Add(1)
+				env.tr.Emit(obs.Event{Kind: obs.CacheHit, Stage: si.FromStage, Frag: -1,
+					Task: -1, Exec: env.execID, Note: "broadcast"})
 				recs = cached
 				break
 			}
 			env.met.CacheMisses.Add(1)
+			env.tr.Emit(obs.Event{Kind: obs.CacheMiss, Stage: si.FromStage, Frag: -1,
+				Task: -1, Exec: env.execID, Note: "broadcast"})
 			recs, _, err = env.flight.Do(key, func() ([]data.Record, error) {
 				out, e := fetchAllWhole()
 				if e != nil {

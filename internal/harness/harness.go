@@ -13,12 +13,16 @@ package harness
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"pado/internal/cluster"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
 	"pado/internal/metrics"
+	"pado/internal/obs"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -101,6 +105,12 @@ type Params struct {
 
 	// PadoConfig mutates the Pado runtime configuration (ablations).
 	PadoConfig func(*runtime.Config)
+
+	// TraceDir, when non-empty, enables event tracing on every run and
+	// writes one Chrome trace (.trace.json) and one text timeline
+	// (.timeline.txt) per run into the directory, named by engine,
+	// workload, rate, and seed. The directory is created if needed.
+	TraceDir string
 }
 
 func (p Params) withDefaults() Params {
@@ -253,10 +263,15 @@ func runOnce(p Params) (Outcome, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), p.Scale.Wall(p.TimeoutMinutes))
 	defer cancel()
 
+	var tracer *obs.Tracer
+	if p.TraceDir != "" {
+		tracer = obs.New()
+	}
+
 	var snap metrics.Snapshot
 	switch p.Engine {
 	case EnginePado:
-		cfg := runtime.Config{}
+		cfg := runtime.Config{Tracer: tracer}
 		// Pado concentrates reduce tasks on the reserved containers,
 		// so its reduce parallelism tracks the reserved pool.
 		cfg.Plan.ReduceParallelism = 2 * p.Reserved
@@ -272,7 +287,7 @@ func runOnce(p Params) (Outcome, error) {
 		}
 		snap = res.Metrics
 	default:
-		cfg := sparklike.Config{Checkpoint: p.Engine == EngineSparkCheckpoint}
+		cfg := sparklike.Config{Checkpoint: p.Engine == EngineSparkCheckpoint, Tracer: tracer}
 		cfg.StorageDiskBW = storageDiskBW
 		// Spark's shuffle-fetch retry dance (5s waits on a ~13-minute
 		// job) scales to ~0.1 paper minutes per retry.
@@ -286,9 +301,45 @@ func runOnce(p Params) (Outcome, error) {
 		snap = res.Metrics
 	}
 
+	if tracer != nil {
+		if err := writeTraces(p, tracer); err != nil {
+			return Outcome{}, err
+		}
+	}
+
 	jct := p.Scale.Minutes(snap.JCT)
 	if snap.TimedOut {
 		jct = p.TimeoutMinutes
 	}
 	return Outcome{Params: p, JCTMinutes: jct, TimedOut: snap.TimedOut, Metrics: snap}, nil
+}
+
+// writeTraces exports one run's event stream as a Chrome trace and a text
+// timeline under p.TraceDir.
+func writeTraces(p Params, tracer *obs.Tracer) error {
+	if err := os.MkdirAll(p.TraceDir, 0o755); err != nil {
+		return err
+	}
+	events := tracer.Events()
+	base := strings.ToLower(fmt.Sprintf("%s-%s-%s-seed%d", p.Engine, p.Workload, p.Rate, p.Seed))
+	chrome, err := os.Create(filepath.Join(p.TraceDir, base+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(chrome, events, p.Scale); err != nil {
+		chrome.Close()
+		return err
+	}
+	if err := chrome.Close(); err != nil {
+		return err
+	}
+	timeline, err := os.Create(filepath.Join(p.TraceDir, base+".timeline.txt"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTimeline(timeline, events, p.Scale); err != nil {
+		timeline.Close()
+		return err
+	}
+	return timeline.Close()
 }

@@ -1,6 +1,10 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -21,8 +25,14 @@ func tinyParams() Params {
 }
 
 func TestRunAllEnginesTiny(t *testing.T) {
+	workloads := []Workload{WorkloadMR, WorkloadMLR, WorkloadALS}
+	if testing.Short() {
+		// MR alone exercises every engine path; MLR and ALS only add
+		// workload shapes, at several seconds each.
+		workloads = []Workload{WorkloadMR}
+	}
 	for _, eng := range AllEngines {
-		for _, w := range []Workload{WorkloadMR, WorkloadMLR, WorkloadALS} {
+		for _, w := range workloads {
 			p := tinyParams()
 			p.Engine = eng
 			p.Workload = w
@@ -87,6 +97,48 @@ func TestPadoConfigHook(t *testing.T) {
 	}
 	if !called {
 		t.Error("PadoConfig hook not invoked")
+	}
+}
+
+func TestTraceDirWritesExports(t *testing.T) {
+	dir := t.TempDir()
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.Rate = trace.RateHigh
+	p.TraceDir = dir
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+
+	chrome, err := os.ReadFile(filepath.Join(dir, "pado-mr-high-seed99.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome, &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range parsed.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"task", "push", "container_evicted"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+
+	timeline, err := os.ReadFile(filepath.Join(dir, "pado-mr-high-seed99.timeline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(timeline, []byte("containers:")) {
+		t.Errorf("timeline missing summary:\n%s", timeline)
 	}
 }
 

@@ -1,38 +1,147 @@
 // Package metrics collects per-job counters used by the experiment
 // harness: task launches and relaunches (the paper's "ratio of relaunched
 // tasks to original tasks"), data movement volumes, and eviction counts.
+//
+// Job is a named-counter registry. The paper-facing counters remain
+// addressable as plain struct fields (Job.Evictions.Add(1)) — they are
+// thin accessors over the same storage the registry exposes by name —
+// while any subsystem (the obs tracing layer, engine extensions, tests)
+// can mint additional counters at runtime with Job.Counter("name").
 package metrics
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// Counter is a single monotonically written int64 counter, safe for
+// concurrent update. The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Store overwrites the value (tests and harness aggregation).
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
+// Builtin counter names, usable with Job.Counter. They identify the
+// struct fields of Job, in declaration order.
+const (
+	NameOriginalTasks     = "original_tasks"
+	NameRelaunchedTasks   = "relaunched_tasks"
+	NameEvictions         = "evictions"
+	NameBytesPushed       = "bytes_pushed"
+	NameBytesFetched      = "bytes_fetched"
+	NameBytesCheckpointed = "bytes_checkpointed"
+	NameCacheHits         = "cache_hits"
+	NameCacheMisses       = "cache_misses"
+)
+
 // Job aggregates counters for one job run. All fields are safe for
-// concurrent update.
+// concurrent update, and the zero value is ready to use.
 type Job struct {
 	// OriginalTasks counts distinct tasks of the physical plan that
 	// were launched at least once.
-	OriginalTasks atomic.Int64
+	OriginalTasks Counter
 	// RelaunchedTasks counts task launches beyond each task's first
 	// attempt (recomputations and eviction relaunches).
-	RelaunchedTasks atomic.Int64
+	RelaunchedTasks Counter
 	// Evictions counts transient container evictions observed while
 	// the job ran.
-	Evictions atomic.Int64
+	Evictions Counter
 	// BytesPushed counts payload bytes pushed from transient to
 	// reserved executors (Pado's escape path).
-	BytesPushed atomic.Int64
+	BytesPushed Counter
 	// BytesFetched counts payload bytes pulled from stage outputs,
 	// shuffle pulls, and broadcast fetches.
-	BytesFetched atomic.Int64
+	BytesFetched Counter
 	// BytesCheckpointed counts payload bytes written to stable storage
 	// (Spark-checkpoint only).
-	BytesCheckpointed atomic.Int64
+	BytesCheckpointed Counter
 	// CacheHits and CacheMisses count task-input-cache lookups.
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
+	CacheHits   Counter
+	CacheMisses Counter
+
+	mu    sync.Mutex
+	named map[string]*Counter
+}
+
+// builtin maps registry names onto the struct fields.
+func (j *Job) builtin(name string) *Counter {
+	switch name {
+	case NameOriginalTasks:
+		return &j.OriginalTasks
+	case NameRelaunchedTasks:
+		return &j.RelaunchedTasks
+	case NameEvictions:
+		return &j.Evictions
+	case NameBytesPushed:
+		return &j.BytesPushed
+	case NameBytesFetched:
+		return &j.BytesFetched
+	case NameBytesCheckpointed:
+		return &j.BytesCheckpointed
+	case NameCacheHits:
+		return &j.CacheHits
+	case NameCacheMisses:
+		return &j.CacheMisses
+	}
+	return nil
+}
+
+// Counter returns the counter registered under name, minting it on first
+// use. Builtin names resolve to the corresponding struct field, so
+// Counter(NameEvictions) and the Evictions field are the same counter.
+func (j *Job) Counter(name string) *Counter {
+	if c := j.builtin(name); c != nil {
+		return c
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c, ok := j.named[name]
+	if !ok {
+		if j.named == nil {
+			j.named = make(map[string]*Counter)
+		}
+		c = new(Counter)
+		j.named[name] = c
+	}
+	return c
+}
+
+// builtinNames lists the builtin counters in declaration order.
+var builtinNames = []string{
+	NameOriginalTasks, NameRelaunchedTasks, NameEvictions,
+	NameBytesPushed, NameBytesFetched, NameBytesCheckpointed,
+	NameCacheHits, NameCacheMisses,
+}
+
+// Each calls fn for every registered counter: builtins first in
+// declaration order, then dynamically minted counters sorted by name.
+func (j *Job) Each(fn func(name string, value int64)) {
+	for _, name := range builtinNames {
+		fn(name, j.builtin(name).Load())
+	}
+	j.mu.Lock()
+	names := make([]string, 0, len(j.named))
+	for name := range j.named {
+		names = append(names, name)
+	}
+	counters := make([]*Counter, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		counters[i] = j.named[name]
+	}
+	j.mu.Unlock()
+	for i, name := range names {
+		fn(name, counters[i].Load())
+	}
 }
 
 // RelaunchRatio returns relaunched/original, the paper's Figures 5-7
@@ -58,11 +167,14 @@ type Snapshot struct {
 	BytesCheckpointed int64
 	CacheHits         int64
 	CacheMisses       int64
+	// Named holds dynamically minted counters (nil when none were
+	// registered).
+	Named map[string]int64
 }
 
 // Snapshot captures the current counter values.
 func (j *Job) Snapshot(jct time.Duration, timedOut bool) Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		JCT:               jct,
 		TimedOut:          timedOut,
 		OriginalTasks:     j.OriginalTasks.Load(),
@@ -74,6 +186,15 @@ func (j *Job) Snapshot(jct time.Duration, timedOut bool) Snapshot {
 		CacheHits:         j.CacheHits.Load(),
 		CacheMisses:       j.CacheMisses.Load(),
 	}
+	j.mu.Lock()
+	if len(j.named) > 0 {
+		s.Named = make(map[string]int64, len(j.named))
+		for name, c := range j.named {
+			s.Named[name] = c.Load()
+		}
+	}
+	j.mu.Unlock()
+	return s
 }
 
 // RelaunchRatio of the snapshot.

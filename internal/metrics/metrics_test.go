@@ -42,6 +42,59 @@ func TestSnapshot(t *testing.T) {
 	}
 }
 
+func TestRegistryBuiltinAliases(t *testing.T) {
+	var j Job
+	j.Counter(NameEvictions).Add(2)
+	j.Evictions.Add(1)
+	if got := j.Counter(NameEvictions).Load(); got != 3 {
+		t.Errorf("builtin alias diverged from field: %d", got)
+	}
+	if j.Counter(NameEvictions) != &j.Evictions {
+		t.Error("Counter(NameEvictions) is not the Evictions field")
+	}
+}
+
+func TestRegistryNamedCounters(t *testing.T) {
+	var j Job
+	c1 := j.Counter("obs.push_started")
+	c2 := j.Counter("obs.push_started")
+	if c1 != c2 {
+		t.Error("same name minted two counters")
+	}
+	c1.Add(7)
+	s := j.Snapshot(0, false)
+	if s.Named["obs.push_started"] != 7 {
+		t.Errorf("snapshot Named = %v", s.Named)
+	}
+
+	var names []string
+	j.Each(func(name string, v int64) { names = append(names, name) })
+	if len(names) != len(builtinNames)+1 {
+		t.Fatalf("Each visited %d counters: %v", len(names), names)
+	}
+	if names[len(names)-1] != "obs.push_started" {
+		t.Errorf("named counter not last: %v", names)
+	}
+}
+
+func TestRegistryConcurrentMint(t *testing.T) {
+	var j Job
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				j.Counter("shared").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Counter("shared").Load(); got != 800 {
+		t.Errorf("lost updates on named counter: %d", got)
+	}
+}
+
 func TestConcurrentCounters(t *testing.T) {
 	var j Job
 	var wg sync.WaitGroup

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"pado/internal/vtime"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). Timestamps and durations are
+// microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object flavor of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// spanPairs maps span-opening kinds to their closing kinds. Start/end
+// events sharing a (Stage, Frag, Task, Attempt) key are folded into one
+// complete ("X") slice; relaunches give the key a fresh Attempt, and
+// same-key reserved-task generations are matched FIFO in time order.
+var spanPairs = map[Kind][]Kind{
+	TaskLaunched: {TaskFinished, TaskFailed},
+	PushStarted:  {PushCommitted},
+	FetchStarted: {FetchDone},
+}
+
+// spanEnds is the inverse index: closing kind -> opening kind.
+var spanEnds = func() map[Kind]Kind {
+	m := make(map[Kind]Kind)
+	for start, ends := range spanPairs {
+		for _, end := range ends {
+			m[end] = start
+		}
+	}
+	return m
+}()
+
+type spanKey struct {
+	Start   Kind
+	Stage   int
+	Frag    int
+	Task    int
+	Attempt int
+}
+
+// chromeTS converts a virtual timestamp to trace microseconds. With a
+// non-zero scale, one paper minute renders as one second of trace time
+// (60e6 µs per... minute compressed 60x) so minute-granularity runs stay
+// navigable; without a scale, wall-clock microseconds are used.
+func chromeTS(t time.Duration, scale vtime.Scale) float64 {
+	if scale.WallPerMinute > 0 {
+		return scale.Minutes(t) * 1e6 // 1 paper minute = 1s of trace time
+	}
+	return float64(t) / float64(time.Microsecond)
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON. Each
+// executor (and the master) becomes one named thread; Task, Push, and
+// Fetch start/end pairs become duration slices; everything else becomes
+// an instant event. The result loads directly in chrome://tracing and
+// ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event, scale vtime.Scale) error {
+	// Thread ids: master first, then executors by first appearance.
+	tids := map[string]int{"": 0}
+	tidOrder := []string{""}
+	tidOf := func(exec string) int {
+		id, ok := tids[exec]
+		if !ok {
+			id = len(tids)
+			tids[exec] = id
+			tidOrder = append(tidOrder, exec)
+		}
+		return id
+	}
+
+	var out []chromeEvent
+	add := func(ce chromeEvent) { out = append(out, ce) }
+
+	args := func(ev Event) map[string]any {
+		a := map[string]any{"stage": ev.Stage, "kind": ev.Kind.String()}
+		if ev.Frag != 0 {
+			a["frag"] = ev.Frag
+		}
+		a["task"] = ev.Task
+		a["attempt"] = ev.Attempt
+		if ev.Exec != "" {
+			a["exec"] = ev.Exec
+		}
+		if ev.Bytes != 0 {
+			a["bytes"] = ev.Bytes
+		}
+		if ev.Note != "" {
+			a["note"] = ev.Note
+		}
+		return a
+	}
+
+	// open tracks unmatched span starts, FIFO per key.
+	open := make(map[spanKey][]Event)
+
+	for _, ev := range events {
+		if _, isStart := spanPairs[ev.Kind]; isStart {
+			k := spanKey{Start: ev.Kind, Stage: ev.Stage, Frag: ev.Frag, Task: ev.Task, Attempt: ev.Attempt}
+			open[k] = append(open[k], ev)
+			continue
+		}
+		if startKind, isEnd := spanEnds[ev.Kind]; isEnd {
+			k := spanKey{Start: startKind, Stage: ev.Stage, Frag: ev.Frag, Task: ev.Task, Attempt: ev.Attempt}
+			if q := open[k]; len(q) > 0 {
+				st := q[0]
+				if len(q) == 1 {
+					delete(open, k)
+				} else {
+					open[k] = q[1:]
+				}
+				dur := chromeTS(ev.T, scale) - chromeTS(st.T, scale)
+				if dur < 1 {
+					dur = 1 // chrome://tracing hides zero-width slices
+				}
+				a := args(st)
+				a["end"] = ev.Kind.String()
+				if ev.Bytes != 0 {
+					a["bytes"] = ev.Bytes
+				}
+				add(chromeEvent{
+					Name: spanName(startKind, ev), Phase: "X",
+					TS: chromeTS(st.T, scale), Dur: dur,
+					PID: 1, TID: tidOf(spanExec(st, ev)), Cat: startKind.String(),
+					Args: a,
+				})
+				continue
+			}
+			// Unmatched end (e.g. commit of a push whose start predates
+			// tracing): fall through to an instant event.
+		}
+		scope := "t"
+		switch ev.Kind {
+		case ContainerUp, ContainerEvicted, ContainerFailed:
+			scope = "g" // global: eviction waves should be visible everywhere
+		}
+		add(chromeEvent{
+			Name: ev.Kind.String(), Phase: "i",
+			TS: chromeTS(ev.T, scale), PID: 1, TID: tidOf(ev.Exec),
+			Scope: scope, Cat: ev.Kind.String(), Args: args(ev),
+		})
+	}
+
+	// Leftover unmatched starts render as instants so nothing is lost.
+	var leftovers []Event
+	for _, q := range open {
+		leftovers = append(leftovers, q...)
+	}
+	sort.SliceStable(leftovers, func(i, j int) bool { return leftovers[i].T < leftovers[j].T })
+	for _, ev := range leftovers {
+		add(chromeEvent{
+			Name: ev.Kind.String(), Phase: "i",
+			TS: chromeTS(ev.T, scale), PID: 1, TID: tidOf(ev.Exec),
+			Scope: "t", Cat: ev.Kind.String(), Args: args(ev),
+		})
+	}
+
+	// Metadata: process and thread names, and explicit thread ordering
+	// (master, then executors in first-appearance order).
+	meta := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "pado"},
+	}}
+	for _, exec := range tidOrder {
+		name := exec
+		if name == "" {
+			name = "master"
+		}
+		meta = append(meta,
+			chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: tids[exec],
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "thread_sort_index", Phase: "M", PID: 1, TID: tids[exec],
+				Args: map[string]any{"sort_index": tids[exec]}},
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}
+
+// spanName labels a completed slice.
+func spanName(start Kind, end Event) string {
+	switch start {
+	case TaskLaunched:
+		if end.Frag == ReservedFrag {
+			return "reserved_task"
+		}
+		if end.Kind == TaskFailed {
+			return "task_failed"
+		}
+		return "task"
+	case PushStarted:
+		return "push"
+	case FetchStarted:
+		return "fetch"
+	}
+	return start.String()
+}
+
+// spanExec picks the thread a slice renders on: the start event's
+// executor, falling back to the end's (the master learns the executor of
+// some completions only at commit time).
+func spanExec(start, end Event) string {
+	if start.Exec != "" {
+		return start.Exec
+	}
+	return end.Exec
+}

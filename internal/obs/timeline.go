@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"pado/internal/vtime"
+)
+
+// stageStat accumulates one stage's timeline facts.
+type stageStat struct {
+	id           int
+	scheduled    []time.Duration
+	complete     []time.Duration
+	launched     int
+	relaunched   int
+	failed       int
+	pushes       int
+	pushBytes    int64
+	fetches      int
+	fetchBytes   int64
+	reservedDone int
+}
+
+// WriteTimeline renders a plain-text account of a recorded run: a
+// chronological log of the control-plane beats (stage transitions,
+// container churn) followed by a per-stage summary table. With a
+// non-zero scale, times print as paper minutes ("2.41m"); otherwise as
+// wall-clock durations.
+func WriteTimeline(w io.Writer, events []Event, scale vtime.Scale) error {
+	ts := func(t time.Duration) string {
+		if scale.WallPerMinute > 0 {
+			return fmt.Sprintf("%7.2fm", scale.Minutes(t))
+		}
+		return fmt.Sprintf("%9s", t.Round(100*time.Microsecond))
+	}
+
+	stages := make(map[int]*stageStat)
+	stat := func(id int) *stageStat {
+		s, ok := stages[id]
+		if !ok {
+			s = &stageStat{id: id}
+			stages[id] = s
+		}
+		return s
+	}
+
+	var evictions, failures, launches int
+	if _, err := fmt.Fprintln(w, "timeline:"); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		var line string
+		switch ev.Kind {
+		case StageScheduled:
+			s := stat(ev.Stage)
+			s.scheduled = append(s.scheduled, ev.T)
+			line = fmt.Sprintf("stage %d scheduled", ev.Stage)
+			if n := len(s.scheduled); n > 1 {
+				line += fmt.Sprintf(" (restart %d)", n-1)
+			}
+		case StageComplete:
+			s := stat(ev.Stage)
+			s.complete = append(s.complete, ev.T)
+			line = fmt.Sprintf("stage %d complete", ev.Stage)
+		case ContainerUp:
+			// Counted, not narrated: initial allocations would flood the
+			// log and replacements follow each narrated eviction.
+			launches++
+			continue
+		case ContainerEvicted:
+			evictions++
+			line = fmt.Sprintf("container %s evicted", ev.Exec)
+		case ContainerFailed:
+			failures++
+			line = fmt.Sprintf("container %s FAILED", ev.Exec)
+		case TaskLaunched:
+			stat(ev.Stage).launched++
+			continue
+		case TaskRelaunched:
+			stat(ev.Stage).relaunched++
+			continue
+		case TaskFailed:
+			stat(ev.Stage).failed++
+			continue
+		case TaskFinished:
+			if ev.Frag == ReservedFrag {
+				stat(ev.Stage).reservedDone++
+			}
+			continue
+		case PushCommitted:
+			stat(ev.Stage).pushes++
+			continue
+		case PushStarted:
+			stat(ev.Stage).pushBytes += ev.Bytes
+			continue
+		case FetchDone:
+			s := stat(ev.Stage)
+			s.fetches++
+			s.fetchBytes += ev.Bytes
+			continue
+		default:
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %s  %s\n", ts(ev.T), line); err != nil {
+			return err
+		}
+	}
+
+	ids := make([]int, 0, len(stages))
+	for id := range stages {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	if _, err := fmt.Fprintf(w, "stages:\n  %5s %9s %9s %8s %10s %7s %7s %10s %10s\n",
+		"stage", "sched", "done", "launched", "relaunched", "failed", "pushes", "pushedB", "fetchedB"); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		s := stages[id]
+		sched, done := "-", "-"
+		if len(s.scheduled) > 0 {
+			sched = ts(s.scheduled[0])
+		}
+		if len(s.complete) > 0 {
+			done = ts(s.complete[len(s.complete)-1])
+		}
+		if _, err := fmt.Fprintf(w, "  %5d %9s %9s %8d %10d %7d %7d %10d %10d\n",
+			id, sched, done, s.launched, s.relaunched, s.failed, s.pushes, s.pushBytes, s.fetchBytes); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "containers: %d launched, %d evicted, %d failed\n", launches, evictions, failures)
+	return err
+}

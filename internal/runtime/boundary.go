@@ -9,6 +9,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/exec"
+	"pado/internal/obs"
 )
 
 func errorsIs(err, target error) bool { return errors.Is(err, target) }
@@ -153,6 +154,14 @@ func boundaryPartition(dep dag.DepType, r data.Record, taskIdx, nRecv int) int {
 // pushFrames sends every receiver its frame and then commits the task
 // through the master.
 func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
+	var total int64
+	for _, f := range frames {
+		for _, s := range f.Sections {
+			total += int64(len(s.Payload))
+		}
+	}
+	ex.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: spec.Stage, Frag: spec.Frag,
+		Task: spec.Index, Attempt: spec.Attempt, Exec: ex.id, Bytes: total})
 	for i, f := range frames {
 		var n int64
 		for _, s := range f.Sections {

@@ -28,12 +28,20 @@ import (
 	"time"
 
 	"pado/internal/core"
+	"pado/internal/obs"
 )
 
 // Config parameterizes the runtime.
 type Config struct {
 	// Plan holds physical-planning knobs (reduce parallelism).
 	Plan core.PlanConfig
+
+	// Tracer, when non-nil, records the run's structured event stream
+	// (task launches/relaunches, evictions, push/commit and fetch
+	// waves, stage transitions) for export as a Chrome trace or text
+	// timeline. Nil disables tracing at near-zero cost. One tracer per
+	// job: its virtual clock starts when the tracer is created.
+	Tracer *obs.Tracer
 
 	// PartialAggregation enables §3.2.7 task output partial
 	// aggregation on combiner stages (on by default; Disable* fields

@@ -12,6 +12,7 @@ import (
 	"pado/internal/dataflow"
 	"pado/internal/exec"
 	"pado/internal/metrics"
+	"pado/internal/obs"
 	"pado/internal/recache"
 	"pado/internal/simnet"
 	"pado/internal/storage"
@@ -29,6 +30,7 @@ type Executor struct {
 	plan *core.Plan
 	cfg  Config
 	met  *metrics.Job
+	tr   *obs.Buf // per-executor trace buffer (nil = tracing off)
 
 	events   chan<- event
 	masterID string
@@ -60,6 +62,7 @@ func newExecutor(c *cluster.Container, net *simnet.Network, plan *core.Plan, cfg
 		plan:      plan,
 		cfg:       cfg,
 		met:       met,
+		tr:        cfg.Tracer.Buf(),
 		events:    events,
 		masterID:  masterID,
 		store:     storage.NewLocalStore(),
@@ -312,9 +315,13 @@ func (ex *Executor) computeFragment(ps *core.PhysStage, frag *core.Fragment, spe
 					key := cacheKey{Vertex: opID, Partition: spec.Index}
 					if recs, ok := ex.cache.Get(key); ok {
 						ex.met.CacheHits.Add(1)
+						ex.tr.Emit(obs.Event{Kind: obs.CacheHit, Stage: spec.Stage, Frag: spec.Frag,
+							Task: spec.Index, Exec: ex.id, Note: "read"})
 						return (&dataflow.SliceSource{Parts: [][]data.Record{recs}}).Open(0)
 					}
 					ex.met.CacheMisses.Add(1)
+					ex.tr.Emit(obs.Event{Kind: obs.CacheMiss, Stage: spec.Stage, Frag: spec.Frag,
+						Task: spec.Index, Exec: ex.id, Note: "read"})
 				}
 				recs, err := materialize(rd.Source, spec.Index)
 				if err != nil {
@@ -417,11 +424,15 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 		return nil, false, fmt.Errorf("runtime: partition %d out of range for stage %d", part, si.FromStage)
 	}
 	fetch := func() ([]data.Record, error) {
+		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: part,
+			Task: part, Exec: ex.id})
 		payload, err := fetchBlock(ex.net, ex.id, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
 		if err != nil {
 			return nil, err
 		}
 		ex.met.BytesFetched.Add(int64(len(payload)))
+		ex.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: si.FromStage, Frag: part,
+			Task: part, Exec: ex.id, Bytes: int64(len(payload))})
 		return data.DecodeAll(coder, payload)
 	}
 	if ex.cfg.DisableCache || !si.Cached {
@@ -431,9 +442,13 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 	key := cacheKey{Vertex: si.FromVertex, Partition: part}
 	if recs, ok := ex.cache.Get(key); ok {
 		ex.met.CacheHits.Add(1)
+		ex.tr.Emit(obs.Event{Kind: obs.CacheHit, Stage: si.FromStage, Frag: part,
+			Task: part, Exec: ex.id, Note: "partition"})
 		return recs, true, nil
 	}
 	ex.met.CacheMisses.Add(1)
+	ex.tr.Emit(obs.Event{Kind: obs.CacheMiss, Stage: si.FromStage, Frag: part,
+		Task: part, Exec: ex.id, Note: "partition"})
 	recs, _, err := ex.flight.Do(key, func() ([]data.Record, error) {
 		recs, err := fetch()
 		if err != nil {
@@ -452,19 +467,25 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 // the result was newly cached.
 func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.Coder) ([]data.Record, bool, error) {
 	fetch := func() ([]data.Record, error) {
+		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: -1,
+			Task: -1, Exec: ex.id, Note: "broadcast"})
 		var recs []data.Record
+		var total int64
 		for part, owner := range loc.Execs {
 			payload, err := fetchBlock(ex.net, ex.id, owner, stageBlockID(si.FromStage, loc.Gen, part))
 			if err != nil {
 				return nil, err
 			}
 			ex.met.BytesFetched.Add(int64(len(payload)))
+			total += int64(len(payload))
 			part, err := data.DecodeAll(coder, payload)
 			if err != nil {
 				return nil, err
 			}
 			recs = append(recs, part...)
 		}
+		ex.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: si.FromStage, Frag: -1,
+			Task: -1, Exec: ex.id, Bytes: total, Note: "broadcast"})
 		return recs, nil
 	}
 
@@ -475,9 +496,13 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 	key := cacheKey{Vertex: si.FromVertex, Partition: -1}
 	if recs, ok := ex.cache.Get(key); ok {
 		ex.met.CacheHits.Add(1)
+		ex.tr.Emit(obs.Event{Kind: obs.CacheHit, Stage: si.FromStage, Frag: -1,
+			Task: -1, Exec: ex.id, Note: "broadcast"})
 		return recs, false, nil
 	}
 	ex.met.CacheMisses.Add(1)
+	ex.tr.Emit(obs.Event{Kind: obs.CacheMiss, Stage: si.FromStage, Frag: -1,
+		Task: -1, Exec: ex.id, Note: "broadcast"})
 	newly := false
 	recs, shared, err := ex.flight.Do(key, func() ([]data.Record, error) {
 		recs, err := fetch()
@@ -507,6 +532,9 @@ func (ex *Executor) sendTerminal(ps *core.PhysStage, frag *core.Fragment, spec t
 		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
 		return
 	}
+	ex.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: spec.Stage, Frag: spec.Frag,
+		Task: spec.Index, Attempt: spec.Attempt, Exec: ex.id, Bytes: int64(len(payload)),
+		Note: "result"})
 	f := &resultFrame{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index, Attempt: spec.Attempt, Payload: payload}
 	if err := sendResult(ex.net, ex.id, ex.masterID, f); err != nil {
 		if !ex.stopped() {
@@ -629,16 +657,32 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 	ex := b.ex
 	var wg sync.WaitGroup
 	errs := make([]error, len(b.receiver))
+	payloads := make([][]byte, len(b.receiver))
+	var total int64
 	for i := range b.receiver {
 		payload, err := encodeAccTable(b.accCoder, tables[i])
 		if err != nil {
 			errs[i] = err
 			continue
 		}
+		payloads[i] = payload
+		total += int64(len(payload))
+	}
+	// Attribute the aggregated frame's bytes evenly across the covered
+	// tasks so per-task trace spans still sum to the frame size.
+	for _, c := range cover {
+		ex.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: b.stage, Frag: b.frag,
+			Task: c.Index, Attempt: c.Attempt, Exec: ex.id,
+			Bytes: total / int64(len(cover)), Note: "aggregated"})
+	}
+	for i := range b.receiver {
+		if errs[i] != nil {
+			continue
+		}
 		f := &pushFrame{
 			Stage: b.stage, Gen: b.gen, RecvIdx: i, Frag: b.frag,
 			Cover:    cover,
-			Sections: []pushSection{{Tag: "", Aggregated: true, Payload: payload}},
+			Sections: []pushSection{{Tag: "", Aggregated: true, Payload: payloads[i]}},
 		}
 		wg.Add(1)
 		go func(i int, f *pushFrame, n int) {
@@ -648,7 +692,7 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 				return
 			}
 			ex.met.BytesPushed.Add(int64(n))
-		}(i, f, len(payload))
+		}(i, f, len(payloads[i]))
 	}
 	wg.Wait()
 	for _, err := range errs {

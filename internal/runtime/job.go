@@ -46,6 +46,7 @@ func Run(ctx context.Context, cl *cluster.Cluster, g *dag.Graph, cfg Config) (*R
 // modify placement before running).
 func RunPlan(ctx context.Context, cl *cluster.Cluster, plan *core.Plan, cfg Config) (*Result, error) {
 	met := &metrics.Job{}
+	cfg.Tracer.FeedCounters(met)
 	m := newMaster(cl, plan, cfg, met)
 
 	stopCollector, err := m.startCollector()

@@ -11,6 +11,7 @@ import (
 	"pado/internal/dag"
 	"pado/internal/dataflow"
 	"pado/internal/metrics"
+	"pado/internal/obs"
 	"pado/internal/simnet"
 )
 
@@ -25,6 +26,7 @@ type Master struct {
 	cl   *cluster.Cluster
 	net  *simnet.Network
 	met  *metrics.Job
+	tr   *obs.Buf // event-loop-confined trace buffer (nil = tracing off)
 
 	events chan event
 
@@ -114,6 +116,7 @@ func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Jo
 		cl:          cl,
 		net:         cl.Net(),
 		met:         met,
+		tr:          cfg.Tracer.Buf(),
 		events:      make(chan event, cfg.eventQueue()),
 		execs:       make(map[string]*Executor),
 		kinds:       make(map[string]cluster.Kind),
@@ -178,6 +181,7 @@ func (m *Master) onLaunched(c *cluster.Container) {
 		// The container raced its own eviction; a replacement follows.
 		return
 	}
+	m.tr.Emit(obs.Event{Kind: obs.ContainerUp, Exec: c.ID, Note: c.Kind.String()})
 	m.execs[c.ID] = ex
 	m.kinds[c.ID] = c.Kind
 	m.slotsFree[c.ID] = c.Slots
@@ -225,15 +229,18 @@ func removeString(s []string, v string) []string {
 // never recomputed.
 func (m *Master) onEvicted(c *cluster.Container) {
 	m.met.Evictions.Add(1)
+	m.tr.Emit(obs.Event{Kind: obs.ContainerEvicted, Exec: c.ID})
 	m.dropExecutor(c.ID)
 	for _, s := range m.stages {
 		if s.status != sRunning && s.status != sStartingReceivers {
 			continue
 		}
-		for _, fr := range s.frags {
-			for _, t := range fr.tasks {
+		for fi, fr := range s.frags {
+			for ti, t := range fr.tasks {
 				if t.exec == c.ID && t.state != tWaiting && t.state != tCommitted {
 					m.requeue(t)
+					m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID,
+						Frag: fi, Task: ti, Attempt: t.attempt, Exec: c.ID})
 				}
 			}
 		}
@@ -251,6 +258,7 @@ func (m *Master) requeue(t *taskRun) {
 // were lost with the reserved container, pause dependents, and recompute
 // in topological order (via the normal pending-stage scheduling).
 func (m *Master) onFailed(c *cluster.Container) {
+	m.tr.Emit(obs.Event{Kind: obs.ContainerFailed, Exec: c.ID})
 	m.dropExecutor(c.ID)
 
 	lost := make(map[int]bool)
@@ -355,6 +363,8 @@ func (m *Master) onReceiverReady(e evReceiverReady) {
 	}
 	s.recvReady[e.Index] = true
 	s.nReady++
+	m.tr.Emit(obs.Event{Kind: obs.ReceiverReady, Stage: s.ps.ID, Frag: obs.ReservedFrag,
+		Task: e.Index, Exec: s.recvExecs[e.Index]})
 	if s.nReady == len(s.recvExecs) {
 		s.status = sRunning
 	}
@@ -382,11 +392,13 @@ func (m *Master) onTaskComputed(e evTaskComputed) {
 		}
 		set[e.Exec] = true
 	}
-	_, t := m.taskAt(e.ref)
+	s, t := m.taskAt(e.ref)
 	if t == nil || t.state != tRunning {
 		return
 	}
 	t.state = tComputed
+	m.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: e.ref.Frag,
+		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: e.Exec})
 }
 
 func (m *Master) onOutputCommitted(e evOutputCommitted) {
@@ -397,6 +409,8 @@ func (m *Master) onOutputCommitted(e evOutputCommitted) {
 	t.state = tCommitted
 	fr := s.frags[e.ref.Frag]
 	fr.nCommitted++
+	m.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: e.ref.Frag,
+		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec})
 	// Relay the commit to every receiver of the stage (§3.2.5).
 	for idx, exID := range s.recvExecs {
 		if ex := m.execs[exID]; ex != nil {
@@ -422,7 +436,11 @@ func (m *Master) onTaskFailed(e evTaskFailed) {
 		m.abort(fmt.Errorf("runtime: task %v failed %d times, last: %w", e.ref, t.fails, e.Err))
 		return
 	}
+	m.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: e.ref.Frag,
+		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec, Note: e.Err.Error()})
 	m.requeue(t)
+	m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
+		Task: e.ref.Index, Attempt: t.attempt})
 }
 
 func (m *Master) onPullFailed(e evPullFailed) {
@@ -434,6 +452,8 @@ func (m *Master) onPullFailed(e evPullFailed) {
 		s.frags[e.ref.Frag].nCommitted--
 	}
 	m.requeue(t)
+	m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
+		Task: e.ref.Index, Attempt: t.attempt, Note: "pull_failed"})
 }
 
 func (m *Master) onReservedTaskDone(e evReservedTaskDone) {
@@ -443,9 +463,12 @@ func (m *Master) onReservedTaskDone(e evReservedTaskDone) {
 	}
 	s.recvDone[e.Index] = true
 	s.nDone++
+	m.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: obs.ReservedFrag,
+		Task: e.Index, Exec: s.recvExecs[e.Index], Bytes: e.Bytes})
 	if s.nDone == len(s.recvExecs) {
 		s.status = sDone
 		s.outputExecs = append([]string(nil), s.recvExecs...)
+		m.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
 		m.replicateProgress()
 		if debugStages {
 			log.Printf("pado: stage %d (%s) done at %v", s.ps.ID,
@@ -468,8 +491,12 @@ func (m *Master) onResult(e evResult) {
 	t.state = tCommitted
 	s.results[e.Index] = e.Payload
 	s.nResults++
+	m.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: s.ps.RootFragment,
+		Task: e.Index, Attempt: e.Attempt, Exec: t.exec, Bytes: int64(len(e.Payload)),
+		Note: "result"})
 	if s.nResults == len(fr.tasks) {
 		s.status = sDone
+		m.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
 		m.replicateProgress()
 		m.checkAllDone()
 	}
@@ -510,6 +537,11 @@ func (m *Master) startStage(s *stageRun) {
 		return // wait for a reserved container
 	}
 	s.gen++
+	note := ""
+	if s.restarts > 0 {
+		note = fmt.Sprintf("restart %d", s.restarts)
+	}
+	m.tr.Emit(obs.Event{Kind: obs.StageScheduled, Stage: ps.ID, Attempt: s.restarts, Note: note})
 	s.frags = make([]*fragRun, len(ps.Fragments))
 	total := 0
 	for i, f := range ps.Fragments {
@@ -541,6 +573,8 @@ func (m *Master) startStage(s *stageRun) {
 		// receive pushed outputs (§3.2.3).
 		s.status = sStartingReceivers
 		for i := 0; i < r; i++ {
+			m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: ps.ID, Frag: obs.ReservedFrag,
+				Task: i, Exec: s.recvExecs[i]})
 			m.execs[s.recvExecs[i]].StartReceiver(recvSpec{
 				Stage: ps.ID, Gen: s.gen, Index: i,
 				Expected:  expected,
@@ -601,6 +635,8 @@ func (m *Master) assignTasks() {
 				t.state = tRunning
 				t.exec = exec
 				m.slotsFree[exec]--
+				m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Frag: fi,
+					Task: ti, Attempt: t.attempt, Exec: exec})
 				ref := taskRef{Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt}
 				m.assignments[ref] = exec
 				m.execs[exec].Launch(taskSpec{

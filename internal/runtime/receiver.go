@@ -9,6 +9,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/exec"
+	"pado/internal/obs"
 )
 
 func readerOf(b []byte) *bytes.Reader { return bytes.NewReader(b) }
@@ -175,11 +176,15 @@ func (r *receiver) run() {
 // it as if it had been pushed.
 func (r *receiver) pull(c msgCommit) error {
 	id := taskBlockID(r.spec.Stage, r.spec.Gen, c.Frag, c.Index, c.Attempt, r.spec.Index)
+	r.ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: r.spec.Stage, Frag: c.Frag,
+		Task: c.Index, Attempt: c.Attempt, Exec: r.ex.id, Note: "pull"})
 	payload, err := fetchBlock(r.ex.net, r.ex.id, c.Exec, id)
 	if err != nil {
 		return err
 	}
 	r.ex.met.BytesFetched.Add(int64(len(payload)))
+	r.ex.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: r.spec.Stage, Frag: c.Frag,
+		Task: c.Index, Attempt: c.Attempt, Exec: r.ex.id, Bytes: int64(len(payload)), Note: "pull"})
 	f, err := decodeFrameBlock(payload)
 	if err != nil {
 		return err
@@ -355,7 +360,10 @@ func allParts(loc stageLoc) []int {
 // fetchParts pulls and decodes the listed partitions of a parent stage's
 // output.
 func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, parts []int) ([]data.Record, error) {
+	r.ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: fromStage, Frag: obs.ReservedFrag,
+		Task: r.spec.Index, Exec: r.ex.id, Note: "receiver"})
 	var recs []data.Record
+	var total int64
 	for _, p := range parts {
 		if p >= len(loc.Execs) {
 			return nil, fmt.Errorf("runtime: partition %d out of range for stage %d", p, fromStage)
@@ -365,12 +373,15 @@ func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, par
 			return nil, err
 		}
 		r.ex.met.BytesFetched.Add(int64(len(payload)))
+		total += int64(len(payload))
 		part, err := data.DecodeAll(coder, payload)
 		if err != nil {
 			return nil, err
 		}
 		recs = append(recs, part...)
 	}
+	r.ex.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: fromStage, Frag: obs.ReservedFrag,
+		Task: r.spec.Index, Exec: r.ex.id, Bytes: total, Note: "receiver"})
 	return recs, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"pado/internal/core"
 	"pado/internal/data"
 	"pado/internal/dataflow"
+	"pado/internal/obs"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 )
@@ -73,6 +74,29 @@ type (
 	// EvictionRate selects a trace-derived eviction regime.
 	EvictionRate = trace.Rate
 )
+
+// Re-exported observability types: set Config.Tracer to a NewTracer
+// value to record the run's event stream, then export it with
+// WriteChromeTrace or WriteTimeline.
+type (
+	// Tracer records a job's structured event stream.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded runtime event.
+	TraceEvent = obs.Event
+)
+
+// NewTracer returns a tracer whose clock starts now. Pass it in
+// Config.Tracer before Run; read the merged stream with Events().
+func NewTracer() *Tracer { return obs.New() }
+
+// WriteChromeTrace exports recorded events in Chrome trace_event JSON
+// (chrome://tracing, ui.perfetto.dev). A zero Scale keeps wall-clock
+// microsecond timestamps.
+var WriteChromeTrace = obs.WriteChromeTrace
+
+// WriteTimeline exports recorded events as a plain-text per-stage
+// timeline and summary table.
+var WriteTimeline = obs.WriteTimeline
 
 // Eviction rates derived from the calibrated datacenter trace analysis
 // (§2.1): low = 5% safety margin, medium = 1%, high = 0.1%.
