@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"pado/internal/chaos"
 	"pado/internal/cluster"
 	"pado/internal/core"
 	"pado/internal/dag"
@@ -45,7 +46,16 @@ func main() {
 	sample := flag.Int("sample", 5, "output records to print")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (\"-\" for stdout)")
 	timelineOut := flag.String("timeline", "", "write a plain-text per-stage timeline to this file (\"-\" for stdout)")
+	chaosPlan := flag.String("chaos", "", "run under the scripted fault schedule in this plan JSON file (see examples/chaos/)")
 	flag.Parse()
+
+	var plan *chaos.Plan
+	if *chaosPlan != "" {
+		var err error
+		if plan, err = chaos.Load(*chaosPlan); err != nil {
+			fatalf("chaos: %v", err)
+		}
+	}
 
 	var r trace.Rate
 	switch strings.ToLower(*rate) {
@@ -108,24 +118,44 @@ func main() {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if *traceOut != "" || *timelineOut != "" {
+	if *traceOut != "" || *timelineOut != "" || plan != nil {
 		tracer = obs.New()
+	}
+
+	var chaosEngine *chaos.Engine
+	if plan != nil {
+		chaosEngine = chaos.NewEngine(plan, cl)
+		chaosEngine.Attach(tracer)
+		defer chaosEngine.Stop()
 	}
 
 	var outputs map[dag.VertexID][]data.Record
 	var jct time.Duration
 	var relaunched, evictions int64
+	var report *chaos.Report
 	switch strings.ToLower(*engine) {
 	case "pado":
-		res, err := runtime.Run(ctx, cl, pipe.Graph(), runtime.Config{
+		cfg := runtime.Config{
 			Plan:   core.PlanConfig{ReduceParallelism: 2 * *reserved},
 			Tracer: tracer,
-		})
+		}
+		if chaosEngine != nil {
+			cfg.Chaos = chaosEngine
+		}
+		res, err := runtime.Run(ctx, cl, pipe.Graph(), cfg)
 		if err != nil {
 			fatalf("run: %v", err)
 		}
 		outputs, jct = res.Outputs, res.Metrics.JCT
 		relaunched, evictions = res.Metrics.RelaunchedTasks, res.Metrics.Evictions
+		if chaosEngine != nil {
+			chaosEngine.Stop()
+			stageParents := make(map[int][]int, len(res.Plan.Stages))
+			for _, ps := range res.Plan.Stages {
+				stageParents[ps.ID] = ps.Parents
+			}
+			report = chaos.Check(tracer.Events(), stageParents)
+		}
 	case "spark", "spark-checkpoint":
 		res, err := sparklike.Run(ctx, cl, pipe.Graph(), sparklike.Config{
 			Checkpoint: strings.Contains(*engine, "checkpoint"),
@@ -161,6 +191,16 @@ func main() {
 
 	fmt.Printf("engine=%s workload=%s rate=%s: jct=%.1f paper-min (%v wall), evictions=%d, relaunched=%d\n",
 		*engine, *workload, r, scale.Minutes(jct), jct.Round(time.Millisecond), evictions, relaunched)
+	if chaosEngine != nil {
+		chaosEngine.Stop()
+		for _, inj := range chaosEngine.Injections() {
+			fmt.Printf("chaos injected: %s\n", inj)
+		}
+		if report != nil {
+			fmt.Println(report)
+			fmt.Printf("chaos digest: %s\n", report.Digest(chaos.Canonical(outputs)))
+		}
+	}
 	for vid, recs := range outputs {
 		fmt.Printf("output vertex %d: %d records\n", vid, len(recs))
 		show := recs

@@ -1,0 +1,274 @@
+// Package chaos is a deterministic fault-injection engine and protocol
+// invariant checker for the eviction-tolerance path.
+//
+// The paper's correctness claims (§3.2.5–§3.2.6) are about worst-moment
+// interleavings — a transient container evicted mid-push, a reserved
+// container lost while recovery is already replaying ancestors — which
+// the stochastic lifetime traces in internal/trace only hit by luck. A
+// chaos.Plan scripts those exact schedules: each rule couples a trigger
+// (a predicate over the live obs event stream: "the 3rd push_started of
+// stage 2", "when half of stage 1's tasks have committed", "200ms after
+// the first relaunch") to a fault spanning one of three layers:
+//
+//   - cluster: targeted eviction, correlated mass-eviction storms, and
+//     reserved-container failure (optionally during recovery);
+//   - simnet: per-link extra latency, deterministic chunk drops, and
+//     dial failures, installed/removed at runtime;
+//   - runtime control plane: delayed or duplicated commit relays, to
+//     stress the §3.2.5 output-commit protocol.
+//
+// After the run, chaos.Check replays the merged obs trace and asserts
+// the protocol invariants; a test then compares job output byte-for-byte
+// against a fault-free golden run.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"pado/internal/obs"
+)
+
+// Any is the wildcard value for Stage/Frag/Task trigger fields.
+const Any = -1
+
+// Duration marshals as a Go duration string ("200ms") in plan JSON.
+type Duration time.Duration
+
+// D converts to a time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("chaos: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Trigger decides when a rule fires. All set fields must match; a rule
+// fires at most once.
+type Trigger struct {
+	// On names the obs event kind to match ("push_started",
+	// "stage_scheduled", ...). Empty means the rule fires as soon as it
+	// is armed — at job start, or the instant its After dependency fires
+	// — which combined with Delay expresses purely timed faults.
+	On string `json:"on,omitempty"`
+
+	// Stage, Frag, and Task filter the matched event's coordinates; Any
+	// (-1) matches everything. JSON omitting a field means Any.
+	Stage int `json:"stage,omitempty"`
+	Frag  int `json:"frag,omitempty"`
+	Task  int `json:"task,omitempty"`
+
+	// ExecPrefix filters on the event's executor id prefix ("t" = any
+	// transient, "r3" = that container).
+	ExecPrefix string `json:"exec_prefix,omitempty"`
+	// NoteContains filters on the event's note substring.
+	NoteContains string `json:"note_contains,omitempty"`
+
+	// Count fires the rule on the Count-th matching event (default 1).
+	Count int `json:"count,omitempty"`
+
+	// Fraction, when > 0, fires once the matched events cover at least
+	// this fraction of the stage's launched tasks (distinct (frag, task)
+	// pairs; the denominator is tracked from task_launched events).
+	// Requires Stage to be set. "When stage 1 commits half its tasks":
+	// {on: "push_committed", stage: 1, fraction: 0.5}.
+	Fraction float64 `json:"fraction,omitempty"`
+
+	// After names a rule that must have fired before this one arms.
+	After string `json:"after,omitempty"`
+
+	// Delay postpones the fault this long after the trigger matches.
+	Delay Duration `json:"delay,omitempty"`
+}
+
+// UnmarshalJSON defaults Stage/Frag/Task to Any so that omitting a field
+// in a plan file means "match everything", not "match 0".
+func (t *Trigger) UnmarshalJSON(b []byte) error {
+	type raw Trigger
+	r := raw{Stage: Any, Frag: Any, Task: Any}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	*t = Trigger(r)
+	return nil
+}
+
+// On returns a wildcard trigger matching events of the named kind, for
+// building plans in Go (where struct-literal zero values would otherwise
+// mean stage/frag/task 0).
+func On(kind string) Trigger { return Trigger{On: kind, Stage: Any, Frag: Any, Task: Any} }
+
+// Fault operations.
+const (
+	// OpEvict evicts one transient container (cluster replaces it).
+	OpEvict = "evict"
+	// OpStorm evicts Count transient containers at once (a spot-price
+	// spike taking out a correlated slice of the market).
+	OpStorm = "storm"
+	// OpFailReserved fails a reserved container; NoReplace withholds the
+	// replacement.
+	OpFailReserved = "fail-reserved"
+	// OpLink installs a simnet.LinkFault adding ExtraLatency and/or
+	// dropping every DropEvery-th chunk on From->To links for Window.
+	OpLink = "link"
+	// OpDialFail fails From->To dials for Window.
+	OpDialFail = "dial-fail"
+	// OpCommitDelay delays the master's commit relays to receivers.
+	OpCommitDelay = "commit-delay"
+	// OpCommitDup duplicates the master's commit relays (Count extra
+	// copies, default 1).
+	OpCommitDup = "commit-dup"
+)
+
+// Fault is the action half of a rule.
+type Fault struct {
+	// Op selects the fault operation (Op* constants).
+	Op string `json:"op"`
+
+	// Target picks the container for evict/fail-reserved: an explicit
+	// container id, "@event" for the triggering event's executor, or
+	// empty for the lowest-numbered live container of the relevant kind.
+	Target string `json:"target,omitempty"`
+
+	// Count sizes storms (containers evicted, default 2) and commit-dup
+	// (extra copies, default 1).
+	Count int `json:"count,omitempty"`
+
+	// NoReplace withholds the replacement container on fail-reserved.
+	NoReplace bool `json:"no_replace,omitempty"`
+
+	// From and To are node-id prefixes selecting links for link and
+	// dial-fail ("" matches every node).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// ExtraLatency and DropEvery parameterize link faults.
+	ExtraLatency Duration `json:"extra_latency,omitempty"`
+	DropEvery    int      `json:"drop_every,omitempty"`
+	// Window bounds how long a link/dial-fail fault stays installed
+	// (0 = until the job ends).
+	Window Duration `json:"window,omitempty"`
+
+	// Stage filters commit-delay/commit-dup to one stage (Any = all).
+	Stage int `json:"stage,omitempty"`
+	// Delay is the commit-delay amount.
+	Delay Duration `json:"delay,omitempty"`
+	// Commits bounds how many commit relays a commit fault perturbs
+	// (0 = all of them while installed).
+	Commits int `json:"commits,omitempty"`
+}
+
+// UnmarshalJSON defaults Stage to Any.
+func (f *Fault) UnmarshalJSON(b []byte) error {
+	type raw Fault
+	r := raw{Stage: Any}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	*f = Fault(r)
+	return nil
+}
+
+// Rule couples one trigger to one fault.
+type Rule struct {
+	// ID names the rule for After-chaining and reports. Empty IDs are
+	// assigned "rule<N>" by Validate.
+	ID      string  `json:"id,omitempty"`
+	Trigger Trigger `json:"trigger"`
+	Fault   Fault   `json:"fault"`
+}
+
+// Plan is a scripted fault schedule.
+type Plan struct {
+	// Name labels the plan in reports.
+	Name  string `json:"name,omitempty"`
+	Rules []Rule `json:"rules"`
+}
+
+// Load reads and validates a plan file.
+func Load(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(b)
+}
+
+// Parse decodes and validates plan JSON.
+func Parse(b []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("chaos: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks the plan and assigns missing rule IDs.
+func (p *Plan) Validate() error {
+	ids := make(map[string]bool)
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.ID == "" {
+			r.ID = fmt.Sprintf("rule%d", i)
+		}
+		if ids[r.ID] {
+			return fmt.Errorf("chaos: duplicate rule id %q", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Trigger.On != "" {
+			if _, ok := obs.ParseKind(r.Trigger.On); !ok {
+				return fmt.Errorf("chaos: rule %q: unknown event kind %q", r.ID, r.Trigger.On)
+			}
+		}
+		if r.Trigger.Fraction < 0 || r.Trigger.Fraction > 1 {
+			return fmt.Errorf("chaos: rule %q: fraction %v out of [0,1]", r.ID, r.Trigger.Fraction)
+		}
+		if r.Trigger.Fraction > 0 && r.Trigger.Stage == Any {
+			return fmt.Errorf("chaos: rule %q: fraction triggers need a stage", r.ID)
+		}
+		if r.Trigger.After != "" {
+			if !ids[r.Trigger.After] {
+				return fmt.Errorf("chaos: rule %q: after references unknown rule %q", r.ID, r.Trigger.After)
+			}
+			if r.Trigger.After == r.ID {
+				return fmt.Errorf("chaos: rule %q: after references itself", r.ID)
+			}
+		}
+		switch r.Fault.Op {
+		case OpEvict, OpStorm, OpFailReserved, OpDialFail:
+		case OpLink:
+			if r.Fault.ExtraLatency == 0 && r.Fault.DropEvery == 0 {
+				return fmt.Errorf("chaos: rule %q: link fault needs extra_latency or drop_every", r.ID)
+			}
+		case OpCommitDelay:
+			if r.Fault.Delay == 0 {
+				return fmt.Errorf("chaos: rule %q: commit-delay needs delay", r.ID)
+			}
+		case OpCommitDup:
+		default:
+			return fmt.Errorf("chaos: rule %q: unknown fault op %q", r.ID, r.Fault.Op)
+		}
+	}
+	return nil
+}

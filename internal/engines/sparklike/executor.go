@@ -247,7 +247,7 @@ func reportTaskError(send func(event), spec sTaskSpec, exec string, err error) {
 
 func isFatal(err error) bool {
 	for _, t := range []error{simnet.ErrNodeDown, simnet.ErrNoSuchNode, simnet.ErrConnClosed,
-		simnet.ErrNotListening, simnet.ErrLimiterClosed, errBlockNotFound} {
+		simnet.ErrNotListening, simnet.ErrLimiterClosed, simnet.ErrInjected, errBlockNotFound} {
 		if errors.Is(err, t) {
 			return false
 		}

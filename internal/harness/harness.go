@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"pado/internal/chaos"
 	"pado/internal/cluster"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
@@ -111,6 +112,13 @@ type Params struct {
 	// (.timeline.txt) per run into the directory, named by engine,
 	// workload, rate, and seed. The directory is created if needed.
 	TraceDir string
+
+	// Chaos, when non-nil, runs the experiment under a scripted fault
+	// schedule (internal/chaos). Tracing is forced on (the engine
+	// triggers off the event stream); on the Pado engine the invariant
+	// checker runs over the recorded trace and its report lands in
+	// Outcome.Chaos.
+	Chaos *chaos.Plan
 }
 
 func (p Params) withDefaults() Params {
@@ -141,6 +149,12 @@ type Outcome struct {
 	JCTMinutes float64
 	TimedOut   bool
 	Metrics    metrics.Snapshot
+
+	// Chaos carries the invariant checker's report (Pado engine under a
+	// chaos plan only; nil otherwise).
+	Chaos *chaos.Report
+	// Injections lists the faults the chaos engine applied.
+	Injections []chaos.Injection
 }
 
 // String renders one outcome row.
@@ -264,14 +278,26 @@ func runOnce(p Params) (Outcome, error) {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if p.TraceDir != "" {
+	if p.TraceDir != "" || p.Chaos != nil {
 		tracer = obs.New()
 	}
 
+	var engine *chaos.Engine
+	if p.Chaos != nil {
+		engine = chaos.NewEngine(p.Chaos, cl)
+		engine.Attach(tracer)
+		defer engine.Stop()
+	}
+
 	var snap metrics.Snapshot
+	var report *chaos.Report
+	var injections []chaos.Injection
 	switch p.Engine {
 	case EnginePado:
 		cfg := runtime.Config{Tracer: tracer}
+		if engine != nil {
+			cfg.Chaos = engine
+		}
 		// Pado concentrates reduce tasks on the reserved containers,
 		// so its reduce parallelism tracks the reserved pool.
 		cfg.Plan.ReduceParallelism = 2 * p.Reserved
@@ -286,6 +312,15 @@ func runOnce(p Params) (Outcome, error) {
 			return Outcome{}, err
 		}
 		snap = res.Metrics
+		if engine != nil {
+			engine.Stop()
+			injections = engine.Injections()
+			stageParents := make(map[int][]int, len(res.Plan.Stages))
+			for _, ps := range res.Plan.Stages {
+				stageParents[ps.ID] = ps.Parents
+			}
+			report = chaos.Check(tracer.Events(), stageParents)
+		}
 	default:
 		cfg := sparklike.Config{Checkpoint: p.Engine == EngineSparkCheckpoint, Tracer: tracer}
 		cfg.StorageDiskBW = storageDiskBW
@@ -299,6 +334,10 @@ func runOnce(p Params) (Outcome, error) {
 			return Outcome{}, err
 		}
 		snap = res.Metrics
+		if engine != nil {
+			engine.Stop()
+			injections = engine.Injections()
+		}
 	}
 
 	if tracer != nil {
@@ -311,7 +350,8 @@ func runOnce(p Params) (Outcome, error) {
 	if snap.TimedOut {
 		jct = p.TimeoutMinutes
 	}
-	return Outcome{Params: p, JCTMinutes: jct, TimedOut: snap.TimedOut, Metrics: snap}, nil
+	return Outcome{Params: p, JCTMinutes: jct, TimedOut: snap.TimedOut, Metrics: snap,
+		Chaos: report, Injections: injections}, nil
 }
 
 // writeTraces exports one run's event stream as a Chrome trace and a text

@@ -151,8 +151,8 @@ func WriteChromeTrace(w io.Writer, events []Event, scale vtime.Scale) error {
 		}
 		scope := "t"
 		switch ev.Kind {
-		case ContainerUp, ContainerEvicted, ContainerFailed:
-			scope = "g" // global: eviction waves should be visible everywhere
+		case ContainerUp, ContainerEvicted, ContainerFailed, ChaosInjected, JobAborted:
+			scope = "g" // global: eviction waves and injected faults should be visible everywhere
 		}
 		add(chromeEvent{
 			Name: ev.Kind.String(), Phase: "i",

@@ -28,6 +28,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pado/internal/metrics"
@@ -76,6 +77,14 @@ const (
 	CacheHit
 	CacheMiss
 
+	// ChaosInjected marks a scripted fault firing (internal/chaos), so
+	// traces show when each injection landed relative to pushes/commits.
+	ChaosInjected
+
+	// JobAborted marks the master giving up on the job (a failure
+	// threshold tripped, or the event queue overflowed).
+	JobAborted
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -97,6 +106,19 @@ var kindNames = [kindCount]string{
 	StageComplete:    "stage_complete",
 	CacheHit:         "cache_hit",
 	CacheMiss:        "cache_miss",
+	ChaosInjected:    "chaos_injected",
+	JobAborted:       "job_aborted",
+}
+
+// ParseKind maps a kind name ("push_started") back to its Kind. Plan
+// files (internal/chaos) name trigger events by these strings.
+func ParseKind(name string) (Kind, bool) {
+	for k := KindNone; k < kindCount; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return KindNone, false
 }
 
 // String implements fmt.Stringer.
@@ -152,6 +174,11 @@ type Tracer struct {
 	// by FeedCounters before any emission.
 	sink [kindCount]*metrics.Counter
 
+	// tap, when set, sees every event live at emission time (after
+	// timestamping, outside any buffer lock). It lets the chaos engine
+	// trigger faults off the event stream without polling.
+	tap atomic.Pointer[func(Event)]
+
 	mu   sync.Mutex
 	bufs []*Buf
 }
@@ -196,6 +223,22 @@ func (t *Tracer) Buf() *Buf {
 
 // Enabled reports whether the tracer records events.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetTap installs fn as the live event tap: every subsequent Emit on any
+// of the tracer's buffers invokes fn with the stamped event, from the
+// emitting goroutine. fn must be fast and must not block — emitters sit
+// on hot paths (the master event loop, executor task loops). Pass nil to
+// remove the tap. Nil-safe.
+func (t *Tracer) SetTap(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.tap.Store(nil)
+		return
+	}
+	t.tap.Store(&fn)
+}
 
 // Events merges every buffer into one stream ordered by virtual time
 // (stable, so same-timestamp events keep their per-buffer order). Safe
@@ -267,4 +310,7 @@ func (b *Buf) Emit(ev Event) {
 	b.mu.Lock()
 	b.evs = append(b.evs, ev)
 	b.mu.Unlock()
+	if fn := b.t.tap.Load(); fn != nil {
+		(*fn)(ev)
+	}
 }

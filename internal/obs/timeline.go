@@ -76,6 +76,13 @@ func WriteTimeline(w io.Writer, events []Event, scale vtime.Scale) error {
 		case ContainerFailed:
 			failures++
 			line = fmt.Sprintf("container %s FAILED", ev.Exec)
+		case ChaosInjected:
+			line = fmt.Sprintf("chaos: %s", ev.Note)
+			if ev.Exec != "" {
+				line += fmt.Sprintf(" (target %s)", ev.Exec)
+			}
+		case JobAborted:
+			line = fmt.Sprintf("job ABORTED: %s", ev.Note)
 		case TaskLaunched:
 			stat(ev.Stage).launched++
 			continue

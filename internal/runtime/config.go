@@ -71,6 +71,31 @@ type Config struct {
 
 	// EventQueue sizes the master's event channel. Default 8192.
 	EventQueue int
+
+	// MaxTaskFailures aborts the job once a single task has failed this
+	// many times (default 50). Chaos tests tighten it to prove the abort
+	// path; pathological schedules loosen it.
+	MaxTaskFailures int
+	// MaxStageRestarts aborts the job once a single stage has been reset
+	// this many times (default 100).
+	MaxStageRestarts int
+
+	// Chaos, when non-nil, lets a fault-injection engine
+	// (internal/chaos) perturb the master's control plane — today, delay
+	// or duplicate the commit events relayed to receivers — to stress
+	// the §3.2.5 output-commit protocol.
+	Chaos ChaosHook
+}
+
+// ChaosHook is the runtime side of control-plane fault injection. It is
+// implemented by internal/chaos; the runtime only consults it.
+type ChaosHook interface {
+	// CommitRelay is called once per receiver as the master relays a
+	// task's output commit (§3.2.5). It returns how long to delay that
+	// relay and how many duplicate commit messages to send after the
+	// original — both zero in the common (unperturbed) case. Called from
+	// the master event loop; must not block.
+	CommitRelay(stage, frag, task, attempt, recvIdx int) (delay time.Duration, duplicates int)
 }
 
 func (c Config) aggMaxTasks() int {
@@ -99,4 +124,18 @@ func (c Config) eventQueue() int {
 		return 8192
 	}
 	return c.EventQueue
+}
+
+func (c Config) maxTaskFailures() int {
+	if c.MaxTaskFailures <= 0 {
+		return 50
+	}
+	return c.MaxTaskFailures
+}
+
+func (c Config) maxStageRestarts() int {
+	if c.MaxStageRestarts <= 0 {
+		return 100
+	}
+	return c.MaxStageRestarts
 }

@@ -554,7 +554,8 @@ func isFatal(err error) bool {
 
 func isTransientErr(err error) bool {
 	for _, t := range []error{simnet.ErrNodeDown, simnet.ErrNoSuchNode, simnet.ErrConnClosed,
-		simnet.ErrNotListening, simnet.ErrLimiterClosed, errBlockNotFound, errPushRejected} {
+		simnet.ErrNotListening, simnet.ErrLimiterClosed, simnet.ErrInjected,
+		errBlockNotFound, errPushRejected} {
 		if errorsIs(err, t) {
 			return true
 		}

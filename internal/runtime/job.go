@@ -68,6 +68,8 @@ loop:
 		case <-ctx.Done():
 			timedOut = true
 			break loop
+		case err := <-m.overflow:
+			m.abort(err)
 		case ev := <-m.events:
 			m.handle(ev)
 		}

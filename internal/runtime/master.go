@@ -29,6 +29,9 @@ type Master struct {
 	tr   *obs.Buf // event-loop-confined trace buffer (nil = tracing off)
 
 	events chan event
+	// overflow carries the first "event queue full" error out of the
+	// cluster callbacks; the run loop turns it into a loud abort.
+	overflow chan error
 
 	// Event-loop-confined state.
 	execs          map[string]*Executor
@@ -100,11 +103,10 @@ type stageRun struct {
 	nResults int
 }
 
-const (
-	maxTaskFailures   = 50
-	maxStageRestarts  = 100
-	relaunchableState = tCommitted // states below this are relaunched on eviction
-)
+// relaunchableState: states below this are relaunched on eviction. The
+// failure thresholds (formerly consts here) live in Config:
+// MaxTaskFailures and MaxStageRestarts, defaulting to 50 and 100.
+const relaunchableState = tCommitted
 
 var debugStages = os.Getenv("PADO_DEBUG") != ""
 
@@ -118,6 +120,7 @@ func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Jo
 		met:         met,
 		tr:          cfg.Tracer.Buf(),
 		events:      make(chan event, cfg.eventQueue()),
+		overflow:    make(chan error, 1),
 		execs:       make(map[string]*Executor),
 		kinds:       make(map[string]cluster.Kind),
 		slotsFree:   make(map[string]int),
@@ -132,14 +135,34 @@ func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Jo
 }
 
 // Cluster listener: callbacks convert to events. These run on cluster
-// goroutines and may block briefly if the event queue is saturated.
-func (m *Master) ContainerLaunched(c *cluster.Container) { m.events <- evContainerLaunched{C: c} }
-func (m *Master) ContainerEvicted(c *cluster.Container)  { m.events <- evContainerEvicted{C: c} }
-func (m *Master) ContainerFailed(c *cluster.Container)   { m.events <- evContainerFailed{C: c} }
+// goroutines whose contract says they must not block, so a full event
+// queue fails loudly (dropping the event and flagging the job) instead
+// of deadlocking the cluster.
+func (m *Master) ContainerLaunched(c *cluster.Container) { m.postClusterEvent(evContainerLaunched{C: c}) }
+func (m *Master) ContainerEvicted(c *cluster.Container)  { m.postClusterEvent(evContainerEvicted{C: c}) }
+func (m *Master) ContainerFailed(c *cluster.Container)   { m.postClusterEvent(evContainerFailed{C: c}) }
+
+// postClusterEvent enqueues a cluster-originated event without ever
+// blocking. A dropped container event would leave the master's view of
+// the cluster permanently wrong, so overflow counts in metrics
+// ("event_queue_overflow") and aborts the job via the overflow channel
+// rather than limping along.
+func (m *Master) postClusterEvent(ev event) {
+	select {
+	case m.events <- ev:
+	default:
+		m.met.Counter("event_queue_overflow").Add(1)
+		select {
+		case m.overflow <- fmt.Errorf("runtime: master event queue full (cap %d), dropped %T", cap(m.events), ev):
+		default:
+		}
+	}
+}
 
 func (m *Master) abort(err error) {
 	if m.failErr == nil {
 		m.failErr = err
+		m.tr.Emit(obs.Event{Kind: obs.JobAborted, Note: err.Error()})
 	}
 	m.finished = true
 }
@@ -314,8 +337,8 @@ func (m *Master) resetStage(s *stageRun) {
 	s.outputExecs = nil
 	s.results = nil
 	s.nResults = 0
-	if s.restarts > maxStageRestarts {
-		m.abort(fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, maxStageRestarts))
+	if max := m.cfg.maxStageRestarts(); s.restarts > max {
+		m.abort(fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, max))
 	}
 }
 
@@ -379,6 +402,8 @@ func (m *Master) onReceiverFailed(e evReceiverFailed) {
 	if s == nil || s.status == sDone {
 		return
 	}
+	m.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: obs.ReservedFrag,
+		Task: e.Index, Note: e.Err.Error()})
 	m.resetStage(s)
 }
 
@@ -411,12 +436,31 @@ func (m *Master) onOutputCommitted(e evOutputCommitted) {
 	fr.nCommitted++
 	m.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec})
-	// Relay the commit to every receiver of the stage (§3.2.5).
+	// Relay the commit to every receiver of the stage (§3.2.5). The
+	// chaos hook may delay or duplicate individual relays; receivers'
+	// attempt tracking must make duplicates harmless and delays at worst
+	// slow (stale generations are dropped on arrival).
 	for idx, exID := range s.recvExecs {
-		if ex := m.execs[exID]; ex != nil {
-			ex.Commit(s.ps.ID, s.gen, idx, msgCommit{
-				Frag: e.ref.Frag, Index: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec,
-			})
+		ex := m.execs[exID]
+		if ex == nil {
+			continue
+		}
+		msg := msgCommit{Frag: e.ref.Frag, Index: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec}
+		stage, gen := s.ps.ID, s.gen
+		var delay time.Duration
+		dups := 0
+		if m.cfg.Chaos != nil {
+			delay, dups = m.cfg.Chaos.CommitRelay(stage, e.ref.Frag, e.ref.Index, e.ref.Attempt, idx)
+		}
+		send := func() {
+			for i := 0; i <= dups; i++ {
+				ex.Commit(stage, gen, idx, msg)
+			}
+		}
+		if delay > 0 {
+			time.AfterFunc(delay, send)
+		} else {
+			send()
 		}
 	}
 }
@@ -432,7 +476,7 @@ func (m *Master) onTaskFailed(e evTaskFailed) {
 		return
 	}
 	t.fails++
-	if t.fails > maxTaskFailures {
+	if max := m.cfg.maxTaskFailures(); t.fails > max {
 		m.abort(fmt.Errorf("runtime: task %v failed %d times, last: %w", e.ref, t.fails, e.Err))
 		return
 	}

@@ -18,6 +18,7 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,10 @@ var (
 	ErrConnClosed    = errors.New("simnet: connection closed")
 	ErrNotListening  = errors.New("simnet: node is not listening")
 	ErrAlreadyExists = errors.New("simnet: node already exists")
+	// ErrInjected is returned by operations killed by an injected fault
+	// (internal/chaos). Engines treat it like any other transient network
+	// failure: retry or relaunch, never abort.
+	ErrInjected = errors.New("simnet: injected fault")
 )
 
 // Config holds network-wide defaults.
@@ -57,11 +62,110 @@ type Network struct {
 	cfg   Config
 	mu    sync.Mutex
 	nodes map[string]*Node
+
+	// Fault injection (internal/chaos). nFaults is the fast path: with no
+	// faults installed, Write and Dial pay one atomic load.
+	nFaults atomic.Int32
+	fmu     sync.Mutex
+	faults  []*faultRule
 }
 
 // New creates an empty network.
 func New(cfg Config) *Network {
 	return &Network{cfg: cfg, nodes: make(map[string]*Node)}
+}
+
+// LinkFault describes one scripted network fault. From and To select
+// links by node-id prefix ("" matches every node), so a single rule can
+// degrade a whole class of links (e.g. everything from transient nodes
+// "t" into reserved nodes "r").
+type LinkFault struct {
+	// From and To are node-id prefixes selecting the affected links.
+	From, To string
+	// ExtraLatency is added to the delivery deadline of every matching
+	// chunk (link delay / throttle injection).
+	ExtraLatency time.Duration
+	// DropEvery, when > 0, fails every DropEvery-th matching chunk write
+	// with ErrInjected (1 = every write). The counter is per-rule, so a
+	// fixed schedule of writes sees a deterministic failure pattern.
+	DropEvery int
+	// FailDial fails matching Dial calls with ErrInjected.
+	FailDial bool
+}
+
+// faultRule is an installed LinkFault plus its private write counter.
+type faultRule struct {
+	f      LinkFault
+	writes int64 // guarded by Network.fmu
+}
+
+func (r *faultRule) matches(from, to string) bool {
+	return strings.HasPrefix(from, r.f.From) && strings.HasPrefix(to, r.f.To)
+}
+
+// InjectFault installs f and returns a function removing it. Removal is
+// idempotent. Installed faults affect in-flight connections immediately
+// (they are consulted per chunk, not per stream).
+func (n *Network) InjectFault(f LinkFault) (remove func()) {
+	r := &faultRule{f: f}
+	n.fmu.Lock()
+	n.faults = append(n.faults, r)
+	n.fmu.Unlock()
+	n.nFaults.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			n.fmu.Lock()
+			for i, q := range n.faults {
+				if q == r {
+					n.faults = append(n.faults[:i], n.faults[i+1:]...)
+					break
+				}
+			}
+			n.fmu.Unlock()
+			n.nFaults.Add(-1)
+		})
+	}
+}
+
+// writeFault consults the installed faults for one chunk on from->to,
+// returning extra delivery latency and/or an injection error.
+func (n *Network) writeFault(from, to string) (time.Duration, error) {
+	if n.nFaults.Load() == 0 {
+		return 0, nil
+	}
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	var extra time.Duration
+	var err error
+	for _, r := range n.faults {
+		if !r.matches(from, to) {
+			continue
+		}
+		extra += r.f.ExtraLatency
+		if r.f.DropEvery > 0 {
+			r.writes++
+			if r.writes%int64(r.f.DropEvery) == 0 && err == nil {
+				err = fmt.Errorf("%w: drop on link %s->%s", ErrInjected, from, to)
+			}
+		}
+	}
+	return extra, err
+}
+
+// dialFault reports whether an installed fault kills a dial from->to.
+func (n *Network) dialFault(from, to string) error {
+	if n.nFaults.Load() == 0 {
+		return nil
+	}
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	for _, r := range n.faults {
+		if r.f.FailDial && r.matches(from, to) {
+			return fmt.Errorf("%w: dial %s->%s", ErrInjected, from, to)
+		}
+	}
+	return nil
 }
 
 // AddNode adds a node with the network's default bandwidth limits.
@@ -119,6 +223,9 @@ func (n *Network) Dial(from, to string) (*Conn, error) {
 	}
 	if dst == nil {
 		return nil, fmt.Errorf("dial to %q: %w", to, ErrNoSuchNode)
+	}
+	if err := n.dialFault(from, to); err != nil {
+		return nil, err
 	}
 	return src.dial(dst)
 }
@@ -305,6 +412,10 @@ func (c *Conn) Write(b []byte) (int, error) {
 		if n > chunk {
 			n = chunk
 		}
+		extra, ferr := c.net.writeFault(c.local.id, c.remote.id)
+		if ferr != nil {
+			return written, ferr
+		}
 		if err := c.local.egress.Acquire(n, c.local.down); err != nil {
 			return written, c.writeErr(err)
 		}
@@ -313,7 +424,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		}
 		data := make([]byte, n)
 		copy(data, b[:n])
-		if err := c.wr.push(data, time.Now().Add(latency)); err != nil {
+		if err := c.wr.push(data, time.Now().Add(latency+extra)); err != nil {
 			return written, err
 		}
 		c.local.bytesSent.Add(int64(n))
