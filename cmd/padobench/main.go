@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pado/internal/harness"
+	"pado/internal/profile"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -33,12 +34,25 @@ func main() {
 	seed := flag.Int64("seed", 424242, "experiment seed")
 	repeats := flag.Int("repeats", 1, "average each cell over this many seeds")
 	traceDir := flag.String("tracedir", "", "write per-run Chrome traces and timelines into this directory")
+	reportDir := flag.String("reportdir", "", "write one analyzer report JSON per experiment cell into this directory (render/diff with padoreport)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	noAgg := flag.Bool("pado-noagg", false, "disable Pado partial aggregation")
 	noCache := flag.Bool("pado-nocache", false, "disable Pado task input caching")
 	pull := flag.Bool("pado-pull", false, "Pado ablation: pull-based stage boundaries")
 	aggMax := flag.Int("pado-aggmax", 0, "Pado executor-level aggregation task limit (0 = default)")
 	padoReduce := flag.Int("pado-reduce", 0, "override Pado reduce parallelism")
 	flag.Parse()
+
+	prof, err := profile.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	base := harness.Params{
 		Transient:      *transient,
@@ -49,6 +63,7 @@ func main() {
 		Seed:           *seed,
 		Repeats:        *repeats,
 		TraceDir:       *traceDir,
+		ReportDir:      *reportDir,
 	}
 	if *noAgg || *noCache || *pull || *aggMax != 0 || *padoReduce != 0 {
 		base.PadoConfig = func(cfg *runtime.Config) {
@@ -82,6 +97,9 @@ func main() {
 		}
 		fmt.Println(out)
 		fmt.Printf("  %s\n", out.Metrics)
+		if out.ReportPath != "" {
+			fmt.Printf("  report: %s\n", out.ReportPath)
+		}
 		return
 	}
 

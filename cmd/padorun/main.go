@@ -26,7 +26,10 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
+	"pado/internal/metrics"
 	"pado/internal/obs"
+	"pado/internal/obs/analyze"
+	"pado/internal/profile"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -46,8 +49,21 @@ func main() {
 	sample := flag.Int("sample", 5, "output records to print")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (\"-\" for stdout)")
 	timelineOut := flag.String("timeline", "", "write a plain-text per-stage timeline to this file (\"-\" for stdout)")
+	reportOut := flag.String("report", "", "write the analyzer report JSON (critical path, eviction costs, stage latencies) to this file (\"-\" for stdout); render it with padoreport")
 	chaosPlan := flag.String("chaos", "", "run under the scripted fault schedule in this plan JSON file (see examples/chaos/)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	prof, err := profile.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	var plan *chaos.Plan
 	if *chaosPlan != "" {
@@ -118,7 +134,7 @@ func main() {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if *traceOut != "" || *timelineOut != "" || plan != nil {
+	if *traceOut != "" || *timelineOut != "" || *reportOut != "" || plan != nil {
 		tracer = obs.New()
 	}
 
@@ -133,6 +149,8 @@ func main() {
 	var jct time.Duration
 	var relaunched, evictions int64
 	var report *chaos.Report
+	var snap metrics.Snapshot
+	var stageParents map[int][]int
 	switch strings.ToLower(*engine) {
 	case "pado":
 		cfg := runtime.Config{
@@ -146,14 +164,14 @@ func main() {
 		if err != nil {
 			fatalf("run: %v", err)
 		}
-		outputs, jct = res.Outputs, res.Metrics.JCT
+		outputs, jct, snap = res.Outputs, res.Metrics.JCT, res.Metrics
 		relaunched, evictions = res.Metrics.RelaunchedTasks, res.Metrics.Evictions
+		stageParents = make(map[int][]int, len(res.Plan.Stages))
+		for _, ps := range res.Plan.Stages {
+			stageParents[ps.ID] = ps.Parents
+		}
 		if chaosEngine != nil {
 			chaosEngine.Stop()
-			stageParents := make(map[int][]int, len(res.Plan.Stages))
-			for _, ps := range res.Plan.Stages {
-				stageParents[ps.ID] = ps.Parents
-			}
 			report = chaos.Check(tracer.Events(), stageParents)
 		}
 	case "spark", "spark-checkpoint":
@@ -165,8 +183,12 @@ func main() {
 		if err != nil {
 			fatalf("run: %v", err)
 		}
-		outputs, jct = res.Outputs, res.Metrics.JCT
+		outputs, jct, snap = res.Outputs, res.Metrics.JCT, res.Metrics
 		relaunched, evictions = res.Metrics.RelaunchedTasks, res.Metrics.Evictions
+		stageParents = make(map[int][]int, len(res.Plan.Stages))
+		for _, ps := range res.Plan.Stages {
+			stageParents[ps.ID] = ps.Parents
+		}
 	default:
 		fatalf("unknown engine %q", *engine)
 	}
@@ -185,6 +207,24 @@ func main() {
 				return obs.WriteTimeline(w, events, scale)
 			}); err != nil {
 				fatalf("timeline: %v", err)
+			}
+		}
+		if *reportOut != "" {
+			rep := analyze.Analyze(events, analyze.Options{
+				StageParents: stageParents,
+				Scale:        analyze.ScaleInfo{WallPerMinute: scale.WallPerMinute},
+				JCT:          jct,
+				TimedOut:     snap.TimedOut,
+				Engine:       strings.ToLower(*engine),
+				Workload:     strings.ToLower(*workload),
+				Rate:         r.String(),
+				Seed:         *seed,
+				Snapshot:     &snap,
+			})
+			if err := writeExport(*reportOut, func(w *os.File) error {
+				return rep.WriteJSON(w)
+			}); err != nil {
+				fatalf("report: %v", err)
 			}
 		}
 	}

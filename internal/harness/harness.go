@@ -24,6 +24,7 @@ import (
 	"pado/internal/engines/sparklike"
 	"pado/internal/metrics"
 	"pado/internal/obs"
+	"pado/internal/obs/analyze"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -119,6 +120,12 @@ type Params struct {
 	// checker runs over the recorded trace and its report lands in
 	// Outcome.Chaos.
 	Chaos *chaos.Plan
+
+	// ReportDir, when non-empty, forces event tracing on and writes one
+	// analyzer report (.report.json, see internal/obs/analyze) per run
+	// into the directory, named like TraceDir exports. The directory is
+	// created if needed.
+	ReportDir string
 }
 
 func (p Params) withDefaults() Params {
@@ -155,6 +162,9 @@ type Outcome struct {
 	Chaos *chaos.Report
 	// Injections lists the faults the chaos engine applied.
 	Injections []chaos.Injection
+	// ReportPath is the analyzer report written for this run (ReportDir
+	// set only; the last repeat's path when averaging).
+	ReportPath string
 }
 
 // String renders one outcome row.
@@ -278,7 +288,7 @@ func runOnce(p Params) (Outcome, error) {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if p.TraceDir != "" || p.Chaos != nil {
+	if p.TraceDir != "" || p.ReportDir != "" || p.Chaos != nil {
 		tracer = obs.New()
 	}
 
@@ -292,6 +302,7 @@ func runOnce(p Params) (Outcome, error) {
 	var snap metrics.Snapshot
 	var report *chaos.Report
 	var injections []chaos.Injection
+	var stageParents map[int][]int
 	switch p.Engine {
 	case EnginePado:
 		cfg := runtime.Config{Tracer: tracer}
@@ -312,13 +323,13 @@ func runOnce(p Params) (Outcome, error) {
 			return Outcome{}, err
 		}
 		snap = res.Metrics
+		stageParents = make(map[int][]int, len(res.Plan.Stages))
+		for _, ps := range res.Plan.Stages {
+			stageParents[ps.ID] = ps.Parents
+		}
 		if engine != nil {
 			engine.Stop()
 			injections = engine.Injections()
-			stageParents := make(map[int][]int, len(res.Plan.Stages))
-			for _, ps := range res.Plan.Stages {
-				stageParents[ps.ID] = ps.Parents
-			}
 			report = chaos.Check(tracer.Events(), stageParents)
 		}
 	default:
@@ -334,14 +345,26 @@ func runOnce(p Params) (Outcome, error) {
 			return Outcome{}, err
 		}
 		snap = res.Metrics
+		stageParents = make(map[int][]int, len(res.Plan.Stages))
+		for _, ps := range res.Plan.Stages {
+			stageParents[ps.ID] = ps.Parents
+		}
 		if engine != nil {
 			engine.Stop()
 			injections = engine.Injections()
 		}
 	}
 
-	if tracer != nil {
+	if p.TraceDir != "" {
 		if err := writeTraces(p, tracer); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	var reportPath string
+	if p.ReportDir != "" {
+		var err error
+		if reportPath, err = writeReport(p, tracer, stageParents, snap); err != nil {
 			return Outcome{}, err
 		}
 	}
@@ -351,7 +374,33 @@ func runOnce(p Params) (Outcome, error) {
 		jct = p.TimeoutMinutes
 	}
 	return Outcome{Params: p, JCTMinutes: jct, TimedOut: snap.TimedOut, Metrics: snap,
-		Chaos: report, Injections: injections}, nil
+		Chaos: report, Injections: injections, ReportPath: reportPath}, nil
+}
+
+// writeReport analyzes one run's event stream and writes the report
+// JSON under p.ReportDir, returning the written path.
+func writeReport(p Params, tracer *obs.Tracer, stageParents map[int][]int, snap metrics.Snapshot) (string, error) {
+	if err := os.MkdirAll(p.ReportDir, 0o755); err != nil {
+		return "", err
+	}
+	rep := analyze.Analyze(tracer.Events(), analyze.Options{
+		StageParents: stageParents,
+		Scale:        analyze.ScaleInfo{WallPerMinute: p.Scale.WallPerMinute},
+		JCT:          snap.JCT,
+		TimedOut:     snap.TimedOut,
+		Engine:       strings.ToLower(p.Engine.String()),
+		Workload:     strings.ToLower(p.Workload.String()),
+		Rate:         p.Rate.String(),
+		Seed:         p.Seed,
+		Snapshot:     &snap,
+	})
+	path := filepath.Join(p.ReportDir, exportBase(p)+".report.json")
+	return path, rep.Save(path)
+}
+
+// exportBase names one run's export files by its experiment cell.
+func exportBase(p Params) string {
+	return strings.ToLower(fmt.Sprintf("%s-%s-%s-seed%d", p.Engine, p.Workload, p.Rate, p.Seed))
 }
 
 // writeTraces exports one run's event stream as a Chrome trace and a text
@@ -361,7 +410,7 @@ func writeTraces(p Params, tracer *obs.Tracer) error {
 		return err
 	}
 	events := tracer.Events()
-	base := strings.ToLower(fmt.Sprintf("%s-%s-%s-seed%d", p.Engine, p.Workload, p.Rate, p.Seed))
+	base := exportBase(p)
 	chrome, err := os.Create(filepath.Join(p.TraceDir, base+".trace.json"))
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"pado/internal/obs/analyze"
 	"pado/internal/runtime"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -139,6 +140,41 @@ func TestTraceDirWritesExports(t *testing.T) {
 	}
 	if !bytes.Contains(timeline, []byte("containers:")) {
 		t.Errorf("timeline missing summary:\n%s", timeline)
+	}
+}
+
+func TestReportDirWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.Rate = trace.RateHigh
+	p.ReportDir = dir
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "pado-mr-high-seed99.report.json")
+	if out.ReportPath != want {
+		t.Errorf("ReportPath = %q, want %q", out.ReportPath, want)
+	}
+	rep, err := analyze.Load(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine != "pado" || rep.Workload != "mr" || rep.Rate != "high" || rep.Seed != 99 {
+		t.Errorf("report identity = %s/%s/%s seed %d", rep.Engine, rep.Workload, rep.Rate, rep.Seed)
+	}
+	if rep.JCTNS <= 0 || rep.CritPath.TotalNS <= 0 || len(rep.Stages) == 0 {
+		t.Errorf("report is empty: jct=%d cp=%d stages=%d", rep.JCTNS, rep.CritPath.TotalNS, len(rep.Stages))
+	}
+	if rep.JCTMinutes <= 0 {
+		t.Errorf("report has no paper-minute scale: %v", rep.JCTMinutes)
+	}
+	// The run used RateHigh, so the stream should carry evictions; the
+	// report's counters section must agree with the run's snapshot.
+	if rep.Containers.Evicted != int(out.Metrics.Evictions) {
+		t.Errorf("report saw %d evictions, snapshot %d", rep.Containers.Evicted, out.Metrics.Evictions)
 	}
 }
 

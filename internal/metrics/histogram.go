@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of fixed buckets in a Histogram. Bucket i
+// covers values up to HistBound(i); the last bucket is the overflow.
+const HistBuckets = 28
+
+// histBase is the upper bound of bucket 0 in nanoseconds (~65µs). Each
+// subsequent bucket doubles, so 28 buckets span ~65µs to ~145 minutes —
+// wide enough for per-task latencies at any experiment scale.
+const histBase = int64(1) << 16
+
+// HistBound returns the inclusive upper bound of bucket i in the
+// histogram's value units (nanoseconds when observing durations). The
+// last bucket has no upper bound.
+func HistBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return int64(1)<<62 - 1
+	}
+	return histBase << uint(i)
+}
+
+// bucketOf returns the index of the bucket holding v.
+func bucketOf(v int64) int {
+	for i := 0; i < HistBuckets-1; i++ {
+		if v <= histBase<<uint(i) {
+			return i
+		}
+	}
+	return HistBuckets - 1
+}
+
+// Histogram is a small fixed-bucket histogram with exponentially sized
+// buckets, safe for concurrent update. It is designed for latency
+// distributions (values in nanoseconds) but holds any non-negative
+// int64. The zero value is ready to use.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	minP1  atomic.Int64 // min+1; 0 = no observations yet
+	max    atomic.Int64
+}
+
+// Observe records v. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.minP1.Load()
+		if (cur != 0 && cur-1 <= v) || h.minP1.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d as nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a copy for reporting. Concurrent observers may land
+// between field reads; reports are taken after the run ends, where the
+// histogram is quiescent.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if p1 := h.minP1.Load(); p1 > 0 {
+		s.Min = p1 - 1
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Index: i, UpperBound: HistBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot.
+type HistBucket struct {
+	Index      int   `json:"i"`
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"n"`
+}
+
+// HistSnapshot is an immutable copy of a Histogram, storing only
+// non-empty buckets so JSON reports stay small.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// upper bound of the bucket containing the q*Count-th observation,
+// clamped to the observed max. Resolution is one bucket (a factor of
+// two), which is enough to rank stages and spot stragglers.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if b.UpperBound > s.Max {
+				return s.Max
+			}
+			return b.UpperBound
+		}
+	}
+	return s.Max
+}
+
+// String renders count/mean/p50/p99/max with values humanized as
+// durations.
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "empty"
+	}
+	d := func(v int64) string { return time.Duration(v).Round(10 * time.Microsecond).String() }
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		s.Count, d(s.Mean()), d(s.Quantile(0.5)), d(s.Quantile(0.99)), d(s.Max))
+}
+
+// Histogram returns the histogram registered under name, minting it on
+// first use. Histograms live in their own registry beside the named
+// counters, sharing the Job's mutex.
+func (j *Job) Histogram(name string) *Histogram {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	h, ok := j.hists[name]
+	if !ok {
+		if j.hists == nil {
+			j.hists = make(map[string]*Histogram)
+		}
+		h = new(Histogram)
+		j.hists[name] = h
+	}
+	return h
+}
+
+// EachHistogram calls fn for every registered histogram, sorted by name.
+func (j *Job) EachHistogram(fn func(name string, s HistSnapshot)) {
+	j.mu.Lock()
+	names := make([]string, 0, len(j.hists))
+	for name := range j.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hists := make([]*Histogram, 0, len(names))
+	for _, name := range names {
+		hists = append(hists, j.hists[name])
+	}
+	j.mu.Unlock()
+	for i, name := range names {
+		fn(name, hists[i].Snapshot())
+	}
+}

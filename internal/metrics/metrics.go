@@ -12,6 +12,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,7 @@ type Job struct {
 
 	mu    sync.Mutex
 	named map[string]*Counter
+	hists map[string]*Histogram
 }
 
 // builtin maps registry names onto the struct fields.
@@ -205,9 +207,24 @@ func (s Snapshot) RelaunchRatio() float64 {
 	return float64(s.RelaunchedTasks) / float64(s.OriginalTasks)
 }
 
-// String summarizes the snapshot on one line.
+// String summarizes the snapshot on one line: every builtin counter
+// (including the cache hit/miss pair) plus any named counters, sorted
+// by name so the rendering is deterministic.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("jct=%v timedOut=%v tasks=%d relaunched=%d (%.0f%%) evictions=%d pushed=%dB fetched=%dB ckpt=%dB",
+	var b strings.Builder
+	fmt.Fprintf(&b, "jct=%v timedOut=%v tasks=%d relaunched=%d (%.0f%%) evictions=%d pushed=%dB fetched=%dB ckpt=%dB cache=%d/%d",
 		s.JCT, s.TimedOut, s.OriginalTasks, s.RelaunchedTasks, s.RelaunchRatio()*100,
-		s.Evictions, s.BytesPushed, s.BytesFetched, s.BytesCheckpointed)
+		s.Evictions, s.BytesPushed, s.BytesFetched, s.BytesCheckpointed,
+		s.CacheHits, s.CacheHits+s.CacheMisses)
+	if len(s.Named) > 0 {
+		names := make([]string, 0, len(s.Named))
+		for name := range s.Named {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, " %s=%d", name, s.Named[name])
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,185 @@
+package analyze_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pado/internal/chaos"
+	"pado/internal/cluster"
+	"pado/internal/obs"
+	"pado/internal/obs/analyze"
+	"pado/internal/runtime"
+	"pado/internal/trace"
+	"pado/internal/vtime"
+	"pado/internal/workloads"
+)
+
+// TestAnalyzeChaosRun is the acceptance check for the waste accounting:
+// run a real MR job under a scripted eviction schedule, then verify
+// against the raw event stream that
+//
+//  1. per-eviction waste attribution sums to the total compute time of
+//     relaunch-destroyed attempts (eviction bucket + failure bucket
+//     together cover every destroyed attempt exactly), and
+//  2. the critical-path length equals the measured JCT within one
+//     scheduling quantum.
+func TestAnalyzeChaosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end analyzer run skipped in short mode")
+	}
+
+	plan := &chaos.Plan{Name: "analyzer-evictions", Rules: []chaos.Rule{
+		{ID: "first", Trigger: chaos.Trigger{On: "push_started", Count: 1, Stage: chaos.Any, Frag: chaos.Any, Task: chaos.Any},
+			Fault: chaos.Fault{Op: chaos.OpEvict, Target: "@event", Stage: chaos.Any}},
+		{Trigger: chaos.Trigger{On: "task_relaunched", After: "first", Stage: chaos.Any, Frag: chaos.Any, Task: chaos.Any},
+			Fault: chaos.Fault{Op: chaos.OpEvict, Stage: chaos.Any}},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Transient:   6,
+		Reserved:    2,
+		Slots:       4,
+		Lifetimes:   trace.Lifetimes(trace.RateNone),
+		Scale:       vtime.NewScale(50 * time.Millisecond),
+		MinLifetime: 30 * time.Millisecond,
+		Seed:        77,
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+
+	tracer := obs.New()
+	eng := chaos.NewEngine(plan, cl)
+	eng.Attach(tracer)
+	defer eng.Stop()
+
+	cfg := workloads.DefaultMRConfig()
+	cfg.Partitions, cfg.LinesPerPart = 8, 400
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	res, err := runtime.Run(ctx, cl, workloads.MR(cfg).Graph(), runtime.Config{Tracer: tracer, Chaos: eng})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Metrics.TimedOut {
+		t.Fatal("timed out")
+	}
+	eng.Stop()
+	if len(eng.Injections()) == 0 {
+		t.Fatal("no faults fired; scenario is vacuous")
+	}
+
+	parents := make(map[int][]int, len(res.Plan.Stages))
+	for _, ps := range res.Plan.Stages {
+		parents[ps.ID] = ps.Parents
+	}
+	events := tracer.Events()
+	rep := analyze.Analyze(events, analyze.Options{
+		StageParents: parents,
+		JCT:          res.Metrics.JCT,
+		Snapshot:     &res.Metrics,
+	})
+
+	// (1) Independently recompute destroyed compute from the raw stream:
+	// every TaskRelaunched(attempt=n>0) destroys attempt n-1, which lost
+	// [launch, min(finish, relaunch)]. MR under an eviction-only plan
+	// never restarts stages, so (stage, frag, task, attempt) is unique.
+	type akey struct{ stage, frag, task, attempt int }
+	launch := make(map[akey]time.Duration)
+	finish := make(map[akey]time.Duration)
+	var wantLost time.Duration
+	wantKilled := 0
+	for _, ev := range events {
+		k := akey{ev.Stage, ev.Frag, ev.Task, ev.Attempt}
+		switch ev.Kind {
+		case obs.TaskLaunched:
+			if _, ok := launch[k]; !ok {
+				launch[k] = ev.T
+			}
+		case obs.TaskFinished:
+			if _, ok := finish[k]; !ok {
+				finish[k] = ev.T
+			}
+		case obs.TaskRelaunched:
+			if ev.Attempt == 0 || ev.Frag == obs.ReservedFrag {
+				continue
+			}
+			prev := akey{ev.Stage, ev.Frag, ev.Task, ev.Attempt - 1}
+			l, ok := launch[prev]
+			if !ok {
+				continue
+			}
+			end := ev.T
+			if f, ok := finish[prev]; ok && f < end {
+				end = f
+			}
+			if end > l {
+				wantLost += end - l
+			}
+			wantKilled++
+		case obs.StageScheduled:
+			// A restart would reset attempt numbering and break the flat
+			// keying above; this plan must not produce one.
+			if _, seen := launch[akey{ev.Stage, -2, -2, -2}]; seen {
+				t.Fatal("stage scheduled twice; test assumption violated")
+			}
+			launch[akey{ev.Stage, -2, -2, -2}] = ev.T
+		}
+	}
+	if wantKilled == 0 {
+		t.Fatal("no attempts destroyed; scenario is vacuous")
+	}
+
+	gotLost := time.Duration(rep.Waste.ComputeLostNS + rep.Waste.FailureComputeLostNS)
+	if gotLost != wantLost {
+		t.Errorf("destroyed compute: report %v (eviction %v + failure %v), independent recompute %v",
+			gotLost, time.Duration(rep.Waste.ComputeLostNS),
+			time.Duration(rep.Waste.FailureComputeLostNS), wantLost)
+	}
+	if got := rep.Waste.TasksKilled + rep.Waste.FailureTasks; got != wantKilled {
+		t.Errorf("destroyed attempts: report %d, independent recompute %d", got, wantKilled)
+	}
+
+	// Per-eviction rows must sum to the eviction-bucket totals.
+	var sumLost, sumBytes int64
+	sumKilled := 0
+	for _, ev := range rep.Waste.Evictions {
+		sumLost += ev.ComputeLostNS
+		sumBytes += ev.BytesLost
+		sumKilled += ev.TasksKilled
+	}
+	if sumLost != rep.Waste.ComputeLostNS || sumKilled != rep.Waste.TasksKilled || sumBytes != rep.Waste.BytesLost {
+		t.Errorf("per-eviction rows (%d tasks, %dns, %dB) disagree with totals (%d, %d, %d)",
+			sumKilled, sumLost, sumBytes,
+			rep.Waste.TasksKilled, rep.Waste.ComputeLostNS, rep.Waste.BytesLost)
+	}
+
+	// (2) Critical path length vs. measured JCT. The walk tiles the event
+	// stream's span exactly; the runtime measures JCT a hair after the
+	// last stage completes, so allow one scheduling quantum of skew.
+	quantum := 25 * time.Millisecond
+	diff := time.Duration(rep.CritPath.TotalNS) - res.Metrics.JCT
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > quantum {
+		t.Errorf("critical path %v vs measured JCT %v: off by %v (> %v)",
+			time.Duration(rep.CritPath.TotalNS), res.Metrics.JCT, diff, quantum)
+	}
+
+	// Segments must still tile [0, total] on a real run.
+	cursor := int64(0)
+	for i, s := range rep.CritPath.Segments {
+		if s.StartNS != cursor {
+			t.Fatalf("segment %d starts at %d, want %d", i, s.StartNS, cursor)
+		}
+		cursor = s.EndNS
+	}
+	if cursor != rep.CritPath.TotalNS {
+		t.Fatalf("segments end at %d, want %d", cursor, rep.CritPath.TotalNS)
+	}
+}

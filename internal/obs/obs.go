@@ -110,15 +110,25 @@ var kindNames = [kindCount]string{
 	JobAborted:       "job_aborted",
 }
 
+// kindByName inverts kindNames, built once on first ParseKind call.
+var (
+	kindByNameOnce sync.Once
+	kindByName     map[string]Kind
+)
+
 // ParseKind maps a kind name ("push_started") back to its Kind. Plan
-// files (internal/chaos) name trigger events by these strings.
+// files (internal/chaos) name trigger events by these strings, and the
+// chaos engine parses one per trigger rule, so the lookup is a map
+// built once rather than a scan over every kind.
 func ParseKind(name string) (Kind, bool) {
-	for k := KindNone; k < kindCount; k++ {
-		if kindNames[k] == name {
-			return k, true
+	kindByNameOnce.Do(func() {
+		kindByName = make(map[string]Kind, kindCount)
+		for k := KindNone; k < kindCount; k++ {
+			kindByName[kindNames[k]] = k
 		}
-	}
-	return KindNone, false
+	})
+	k, ok := kindByName[name]
+	return k, ok
 }
 
 // String implements fmt.Stringer.

@@ -79,6 +79,82 @@ func TestConcurrentEmitMergesMonotonic(t *testing.T) {
 	// down exactly; here we just require global monotonicity held.
 }
 
+// TestParseKindRoundTrip pins the name table: every kind's String must
+// parse back to the same kind, unknown names must not parse, and the
+// sentinel must stay out of reach.
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := KindNone; k < kindCount; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		got, ok := ParseKind(name)
+		if !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, true", name, got, ok, k)
+		}
+	}
+	if _, ok := ParseKind("no_such_kind"); ok {
+		t.Error("ParseKind accepted an unknown name")
+	}
+	if _, ok := ParseKind(""); ok {
+		t.Error("ParseKind accepted the empty string")
+	}
+}
+
+// TestEventsWhileEmitting drives concurrent Buf.Emit against repeated
+// Tracer.Events/Len merges (the analyzer and exporters snapshot while
+// executors may still be draining). Run under -race this pins the
+// locking contract: snapshots are consistent prefixes, never torn.
+func TestEventsWhileEmitting(t *testing.T) {
+	tr := New()
+	const goroutines = 8
+	const perG = 400
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		b := tr.Buf()
+		wg.Add(1)
+		go func(g int, b *Buf) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				b.Emit(Event{Kind: PushStarted, Stage: g, Task: i, Bytes: int64(i)})
+			}
+		}(g, b)
+	}
+	// Merge continuously while emitters run; every snapshot must be
+	// internally ordered and no larger than the final count.
+	var snaps int
+	go func() {
+		defer close(stop)
+		wg.Wait()
+	}()
+	for {
+		evs := tr.Events()
+		if len(evs) > goroutines*perG {
+			t.Errorf("snapshot invented events: %d", len(evs))
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].T < evs[i-1].T {
+				t.Fatalf("snapshot out of order at %d", i)
+			}
+		}
+		if n := tr.Len(); n > goroutines*perG {
+			t.Errorf("Len overcounted: %d", n)
+		}
+		snaps++
+		select {
+		case <-stop:
+			if final := tr.Events(); len(final) != goroutines*perG {
+				t.Fatalf("final merge %d events, want %d (after %d live snapshots)",
+					len(final), goroutines*perG, snaps)
+			}
+			return
+		default:
+		}
+	}
+}
+
 func TestFakeClockTimestamps(t *testing.T) {
 	clk := vtime.NewFake(time.Unix(0, 0))
 	tr := NewWithClock(clk)

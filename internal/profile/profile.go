@@ -1,0 +1,69 @@
+// Package profile wires the standard pprof CPU and heap profilers into
+// command-line binaries with two flags' worth of code. The simulator's
+// hot paths (the cluster's token-bucket transfers, the master event
+// loops, tracer emission) are exactly the kind of code whose costs only
+// show up under a profiler, and both cmd/padorun and cmd/padobench
+// expose these via -cpuprofile/-memprofile.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session holds the open profile outputs; Stop finishes them.
+type Session struct {
+	cpu     *os.File
+	memPath string
+}
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges
+// for a heap profile at memPath (when non-empty) when Stop is called.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpu = f
+	}
+	return s, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if requested.
+// Safe to call on a nil session.
+func (s *Session) Stop() error {
+	if s == nil {
+		return nil
+	}
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpu.Close(); err != nil {
+			return err
+		}
+		s.cpu = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC() // flush allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		s.memPath = ""
+	}
+	return nil
+}
