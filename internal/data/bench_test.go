@@ -1,0 +1,81 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func benchRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = KV(fmt.Sprintf("key-%05d", i%997), int64(i))
+	}
+	return recs
+}
+
+func BenchmarkEncodeAll(b *testing.B) {
+	c := KVCoder{K: StringCoder, V: Int64Coder}
+	recs := benchRecords(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeAll(c, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeAllFresh is the pre-pool baseline: a throwaway buffer
+// and Encoder per call. Kept as the comparison lane for BenchmarkEncodeAll.
+func BenchmarkEncodeAllFresh(b *testing.B) {
+	c := KVCoder{K: StringCoder, V: Int64Coder}
+	recs := benchRecords(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		if err := e.Uvarint(uint64(len(recs))); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := c.EncodeRecord(e, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		_ = buf.Bytes()
+	}
+}
+
+func BenchmarkDecodeAll(b *testing.B) {
+	c := KVCoder{K: StringCoder, V: Int64Coder}
+	payload, err := EncodeAll(c, benchRecords(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAll(c, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	recs := benchRecords(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink int
+		for _, r := range recs {
+			sink += Partition(r.Key, 8)
+		}
+		_ = sink
+	}
+}

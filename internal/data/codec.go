@@ -24,6 +24,21 @@ func NewEncoder(w io.Writer) *Encoder {
 	return &Encoder{w: bufio.NewWriterSize(w, 16<<10)}
 }
 
+// Reset discards unflushed state and redirects the Encoder to w, reusing
+// the internal buffer. It lets pooled Encoders serve many destinations
+// without reallocating their 16KiB write buffers.
+func (e *Encoder) Reset(w io.Writer) {
+	if bw, ok := w.(*bufio.Writer); ok {
+		e.w = bw
+		return
+	}
+	if e.w == nil {
+		e.w = bufio.NewWriterSize(w, 16<<10)
+		return
+	}
+	e.w.Reset(w)
+}
+
 // Flush writes any buffered data to the underlying writer.
 func (e *Encoder) Flush() error { return e.w.Flush() }
 
@@ -82,15 +97,27 @@ func (e *Encoder) Float64s(v []float64) error {
 	return nil
 }
 
+// byteReader is what a Decoder needs from its source. *bytes.Reader and
+// *bufio.Reader both satisfy it, so in-memory decodes (the common case:
+// DecodeAll over an already-received payload) skip the extra bufio layer
+// and its 16KiB buffer allocation entirely.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
 // Decoder reads values produced by Encoder.
 type Decoder struct {
-	r   *bufio.Reader
+	r   byteReader
 	tmp [8]byte
 }
 
-// NewDecoder returns a Decoder reading from r.
+// NewDecoder returns a Decoder reading from r. Sources that already
+// support byte-at-a-time reads (*bytes.Reader, *bufio.Reader) are used
+// directly; anything else — e.g. a network conn — is wrapped in a
+// bufio.Reader.
 func NewDecoder(r io.Reader) *Decoder {
-	if br, ok := r.(*bufio.Reader); ok {
+	if br, ok := r.(byteReader); ok {
 		return &Decoder{r: br}
 	}
 	return &Decoder{r: bufio.NewReaderSize(r, 16<<10)}

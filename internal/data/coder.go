@@ -135,22 +135,20 @@ func typeErr(want string, got any) error {
 }
 
 // EncodeAll encodes records into a single byte buffer: a uvarint count
-// followed by the records back to back.
+// followed by the records back to back. The encode runs through the
+// shared buffer pool, so only the returned slice is a fresh allocation.
 func EncodeAll(c Coder, recs []Record) ([]byte, error) {
-	var buf bytes.Buffer
-	e := NewEncoder(&buf)
-	if err := e.Uvarint(uint64(len(recs))); err != nil {
-		return nil, err
-	}
-	for _, r := range recs {
-		if err := c.EncodeRecord(e, r); err != nil {
-			return nil, err
+	return Encoded(func(e *Encoder) error {
+		if err := e.Uvarint(uint64(len(recs))); err != nil {
+			return err
 		}
-	}
-	if err := e.Flush(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+		for _, r := range recs {
+			if err := c.EncodeRecord(e, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // DecodeAll decodes a buffer produced by EncodeAll.
@@ -163,7 +161,14 @@ func DecodeAll(c Coder, b []byte) ([]Record, error) {
 	if n > 1<<30 {
 		return nil, fmt.Errorf("data: record count %d too large", n)
 	}
-	recs := make([]Record, 0, n)
+	// Preallocate from the declared count, but never more slots than the
+	// payload could possibly hold (each record costs at least one byte) —
+	// a corrupt count must not translate into a giant allocation.
+	hint := n
+	if hint > uint64(len(b)) {
+		hint = uint64(len(b))
+	}
+	recs := make([]Record, 0, hint)
 	for i := uint64(0); i < n; i++ {
 		r, err := c.DecodeRecord(d)
 		if err != nil {

@@ -1,0 +1,43 @@
+package data
+
+import (
+	"bytes"
+	"sync"
+)
+
+// encodeState pairs a reusable byte buffer with an Encoder permanently
+// aimed at it, so a pooled encode reuses both the accumulation buffer
+// and the Encoder's internal bufio buffer.
+type encodeState struct {
+	buf bytes.Buffer
+	enc *Encoder
+}
+
+var encodePool = sync.Pool{
+	New: func() any {
+		s := &encodeState{}
+		s.enc = NewEncoder(&s.buf)
+		return s
+	},
+}
+
+// Encoded runs fn against a pooled Encoder and returns an exact-size copy
+// of everything fn wrote. It replaces the throwaway bytes.Buffer +
+// Encoder pair on hot encode paths (EncodeAll, push-frame blocks): the
+// growing buffer and the Encoder's 16KiB write buffer are both recycled
+// across calls, so steady-state encoding allocates only the result slice.
+func Encoded(fn func(e *Encoder) error) ([]byte, error) {
+	s := encodePool.Get().(*encodeState)
+	defer encodePool.Put(s)
+	s.buf.Reset()
+	s.enc.Reset(&s.buf)
+	if err := fn(s.enc); err != nil {
+		return nil, err
+	}
+	if err := s.enc.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, s.buf.Len())
+	copy(out, s.buf.Bytes())
+	return out, nil
+}

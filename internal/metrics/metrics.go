@@ -44,6 +44,15 @@ const (
 	NameCacheMisses       = "cache_misses"
 )
 
+// Data-plane connection-pool counter names. These are dynamically minted
+// (not struct fields): the pool reports how often a data-plane operation
+// had to dial a fresh simnet connection versus reusing a pooled one, so
+// reports can show the reuse rate alongside the byte counters.
+const (
+	NameConnDials  = "conn_dials"
+	NameConnReuses = "conn_reuses"
+)
+
 // Job aggregates counters for one job run. All fields are safe for
 // concurrent update, and the zero value is ready to use.
 type Job struct {

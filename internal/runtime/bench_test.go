@@ -1,0 +1,200 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"pado/internal/data"
+	"pado/internal/metrics"
+	"pado/internal/simnet"
+)
+
+// serveAck runs a data-plane server on nd that acknowledges every push
+// and answers fetches from blocks (for benchmarks; unlike serveBlocks it
+// accepts pushes).
+func serveAck(b *testing.B, nd *simnet.Node, blocks map[string][]byte) {
+	b.Helper()
+	l, err := nd.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept(nil)
+			if err != nil {
+				return
+			}
+			go func(conn *simnet.Conn) {
+				defer conn.Close()
+				d := data.NewDecoder(connReader{conn})
+				e := data.NewEncoder(conn)
+				for {
+					op, err := d.Byte()
+					if err != nil {
+						return
+					}
+					switch op {
+					case framePush:
+						if _, err := readPushFrame(d); err != nil {
+							return
+						}
+						e.Byte(respOK)
+					case frameFetch:
+						id, err := d.String()
+						if err != nil {
+							return
+						}
+						if blk, ok := blocks[id]; ok {
+							e.Byte(respOK)
+							e.Bytes(blk)
+						} else {
+							e.Byte(respNo)
+						}
+					default:
+						return
+					}
+					if e.Flush() != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func benchNet(b *testing.B, blocks map[string][]byte) *simnet.Network {
+	b.Helper()
+	net := simnet.New(simnet.Config{})
+	if _, err := net.AddNode("client"); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := net.AddNode("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveAck(b, srv, blocks)
+	return net
+}
+
+func benchFrame(payloadLen int) *pushFrame {
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return &pushFrame{
+		Stage: 2, Gen: 1, RecvIdx: 0, Frag: 1,
+		Cover:    []senderRef{{Index: 3, Attempt: 0}},
+		Sections: []pushSection{{Tag: "", Payload: payload}},
+	}
+}
+
+// BenchmarkPushRoundTrip measures one acknowledged push over a pooled
+// connection — the steady-state cost of the boundary escape path.
+func BenchmarkPushRoundTrip(b *testing.B) {
+	net := benchNet(b, nil)
+	pool := newConnPool(net, "client", &metrics.Job{})
+	defer pool.closeAll()
+	f := benchFrame(16 << 10)
+	b.ReportAllocs()
+	b.SetBytes(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sendPush(pool, "server", f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFetchPooled and BenchmarkFetchFreshDial compare a pooled fetch
+// against the pre-pool behavior of dialing (and building codec state) per
+// operation.
+func BenchmarkFetchPooled(b *testing.B) {
+	blk := make([]byte, 16<<10)
+	net := benchNet(b, map[string][]byte{"blk": blk})
+	pool := newConnPool(net, "client", &metrics.Job{})
+	defer pool.closeAll()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fetchBlock(pool, "server", "blk"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetchFreshDial(b *testing.B) {
+	blk := make([]byte, 16<<10)
+	net := benchNet(b, map[string][]byte{"blk": blk})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn, err := net.Dial("client", "server")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := data.NewEncoder(conn)
+		d := data.NewDecoder(conn)
+		if err := e.Byte(frameFetch); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.String("blk"); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := d.Byte()
+		if err != nil || resp != respOK {
+			b.Fatalf("resp %v %v", resp, err)
+		}
+		if _, err := d.Bytes(0); err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+// BenchmarkFrameEncode / BenchmarkFrameDecode measure push-frame codec
+// cost in isolation (no network).
+func BenchmarkFrameEncode(b *testing.B) {
+	f := benchFrame(16 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeFrameBlock(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	blob, err := encodeFrameBlock(benchFrame(16 << 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeFrameBlock(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFanout measures the fan-out scheduler's overhead against the
+// serial loop it replaces, at varying widths.
+func BenchmarkFanout(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fanout(n, maxFetchWorkers, func(int) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -75,7 +75,12 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 	}
 
 	// Raw path: per-receiver frames with one section per boundary edge.
+	// Each receiver gets exactly one section per boundary, so the slices
+	// can be sized exactly once.
 	sections := make([][]pushSection, nRecv)
+	for i := range sections {
+		sections[i] = make([]pushSection, 0, len(frag.Boundaries))
+	}
 	for _, b := range frag.Boundaries {
 		coder, err := dataflow.OutputCoder(g.Vertex(b.From))
 		if err != nil {
@@ -88,8 +93,14 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 				groups[i] = outs[b.From]
 			}
 		} else {
+			// Size each receiver's group for an even split up front;
+			// skewed partitions still grow past the hint.
+			hint := (len(outs[b.From]) + nRecv - 1) / nRecv
 			for _, r := range outs[b.From] {
 				p := boundaryPartition(b.Dep, r, spec.Index, nRecv)
+				if groups[p] == nil {
+					groups[p] = make([]data.Record, 0, hint)
+				}
 				groups[p] = append(groups[p], r)
 			}
 		}
@@ -151,8 +162,14 @@ func boundaryPartition(dep dag.DepType, r data.Record, taskIdx, nRecv int) int {
 	}
 }
 
-// pushFrames sends every receiver its frame and then commits the task
-// through the master.
+// pushFrames sends every receiver its frame concurrently and then, once
+// every push is acknowledged, commits the task through the master. The
+// commit-after-all-acks ordering is what makes the push path exactly-once
+// (§3.2.5): a frame the receiver staged is only merged after the commit
+// arrives, so no receiver can observe a commit for data it doesn't hold.
+// On any failure the task fails (first error by receiver index, for
+// deterministic reporting) and no commit is sent; the relaunched attempt
+// re-pushes everything and receivers drop superseded frames by attempt.
 func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
 	var total int64
 	for _, f := range frames {
@@ -162,18 +179,22 @@ func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
 	}
 	ex.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: spec.Stage, Frag: spec.Frag,
 		Task: spec.Index, Attempt: spec.Attempt, Exec: ex.id, Bytes: total})
-	for i, f := range frames {
+	err := fanout(len(frames), len(frames), func(i int) error {
 		var n int64
-		for _, s := range f.Sections {
+		for _, s := range frames[i].Sections {
 			n += int64(len(s.Payload))
 		}
-		if err := sendPush(ex.net, ex.id, spec.Receivers[i], f); err != nil {
-			if !ex.stopped() {
-				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: isFatal(err)})
-			}
-			return
+		if err := sendPush(ex.pool, spec.Receivers[i], frames[i]); err != nil {
+			return err
 		}
 		ex.met.BytesPushed.Add(n)
+		return nil
+	})
+	if err != nil {
+		if !ex.stopped() {
+			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: isFatal(err)})
+		}
+		return
 	}
 	ex.send(evOutputCommitted{ref: spec.ref()})
 }
@@ -181,12 +202,9 @@ func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
 // encodeFrameBlock / decodeFrameBlock serialize a pushFrame for the
 // pull-boundary ablation's local store.
 func encodeFrameBlock(f *pushFrame) ([]byte, error) {
-	var buf writerBuffer
-	e := data.NewEncoder(&buf)
-	if err := writePushFrame(e, f); err != nil {
-		return nil, err
-	}
-	return buf.b, nil
+	return data.Encoded(func(e *data.Encoder) error {
+		return writePushFrame(e, f)
+	})
 }
 
 func decodeFrameBlock(b []byte) (*pushFrame, error) {
@@ -199,11 +217,4 @@ func decodeFrameBlock(b []byte) (*pushFrame, error) {
 		return nil, fmt.Errorf("runtime: bad frame block")
 	}
 	return readPushFrame(d)
-}
-
-type writerBuffer struct{ b []byte }
-
-func (w *writerBuffer) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
 }

@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"sync"
+
+	"pado/internal/data"
+	"pado/internal/metrics"
+	"pado/internal/simnet"
+)
+
+// connPool reuses simnet connections across data-plane operations issued
+// from one node. Every push, fetch, store, and result frame used to dial
+// a fresh connection; since the receive side (handleConn, the master
+// collector) already loops over framed operations on a single connection,
+// the send side can keep a connection per destination open and multiplex
+// sequential request/response rounds over it with no protocol change.
+//
+// Entries are invalidated whenever an operation fails with a transport
+// error or the conn's peer is observed down (Conn.Alive), so an eviction
+// at worst costs the in-flight operation — exactly as it did with
+// per-operation dials. The dials/reuses counter pair feeds the metrics
+// registry (and thus padoreport), making reuse rates observable.
+type connPool struct {
+	net  *simnet.Network
+	from string
+	met  *metrics.Job
+
+	mu     sync.Mutex
+	idle   map[string][]*poolConn
+	closed bool
+}
+
+// poolConn is one pooled connection with its codec state. The Encoder and
+// Decoder must live as long as the conn: both buffer, so rebuilding them
+// per operation could strand bytes of an earlier response.
+type poolConn struct {
+	c *simnet.Conn
+	e *data.Encoder
+	d *data.Decoder
+	// reused marks a checkout that came from the idle list rather than a
+	// fresh dial; operations failing on a reused conn are retried once on
+	// a fresh one (the pooled conn may have gone stale while idle).
+	reused bool
+}
+
+// maxIdlePerDest bounds the idle list per destination. Concurrent fan-out
+// from one executor rarely needs more parallel streams per peer than it
+// has task slots; excess conns returned beyond the cap are closed.
+const maxIdlePerDest = 8
+
+func newConnPool(net *simnet.Network, from string, met *metrics.Job) *connPool {
+	return &connPool{net: net, from: from, met: met, idle: make(map[string][]*poolConn)}
+}
+
+// get checks out a connection to dest, reusing an idle one when a live
+// candidate exists and dialing otherwise.
+func (p *connPool) get(to string) (*poolConn, error) {
+	p.mu.Lock()
+	for {
+		list := p.idle[to]
+		if len(list) == 0 {
+			break
+		}
+		pc := list[len(list)-1]
+		p.idle[to] = list[:len(list)-1]
+		if !pc.c.Alive() {
+			pc.c.Close()
+			continue
+		}
+		p.mu.Unlock()
+		pc.reused = true
+		p.met.Counter(metrics.NameConnReuses).Add(1)
+		return pc, nil
+	}
+	p.mu.Unlock()
+	return p.dial(to)
+}
+
+// dial opens a fresh connection to dest, bypassing the idle list.
+func (p *connPool) dial(to string) (*poolConn, error) {
+	conn, err := p.net.Dial(p.from, to)
+	if err != nil {
+		return nil, err
+	}
+	p.met.Counter(metrics.NameConnDials).Add(1)
+	return &poolConn{c: conn, e: data.NewEncoder(conn), d: data.NewDecoder(conn)}, nil
+}
+
+// put returns a healthy connection to the idle list; dead conns and
+// overflow beyond maxIdlePerDest are closed instead.
+func (p *connPool) put(pc *poolConn) {
+	if !pc.c.Alive() {
+		pc.c.Close()
+		return
+	}
+	pc.reused = false
+	to := pc.c.RemoteID()
+	p.mu.Lock()
+	if p.closed || len(p.idle[to]) >= maxIdlePerDest {
+		p.mu.Unlock()
+		pc.c.Close()
+		return
+	}
+	p.idle[to] = append(p.idle[to], pc)
+	p.mu.Unlock()
+}
+
+// discard invalidates a connection after a transport error.
+func (p *connPool) discard(pc *poolConn) { pc.c.Close() }
+
+// closeAll drains and closes every idle connection and marks the pool
+// closed; later put calls close their conns instead of pooling them.
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = make(map[string][]*poolConn)
+	p.closed = true
+	p.mu.Unlock()
+	for _, list := range idle {
+		for _, pc := range list {
+			pc.c.Close()
+		}
+	}
+}
+
+// isProtocolErr reports errors that are negative responses from a healthy
+// peer (respNo) rather than transport failures: the connection is still
+// usable and retrying would only repeat the answer.
+func isProtocolErr(err error) bool {
+	return errorsIs(err, errPushRejected) || errorsIs(err, errBlockNotFound)
+}
+
+// do runs one request/response operation against dest on a pooled
+// connection. An operation that fails with a transport error on a REUSED
+// connection is retried exactly once on a freshly dialed one: the pooled
+// conn's peer may have gone down and been replaced while the conn sat
+// idle, which per-operation dialing never observed. The retry is safe for
+// every data-plane operation: pushes are deduplicated by receivers via
+// Cover/attempt tracking, result frames by the master's task state, and
+// fetches and stores are idempotent. Failures on fresh connections
+// propagate unchanged, preserving pre-pool error semantics.
+func (p *connPool) do(to string, op func(e *data.Encoder, d *data.Decoder) error) error {
+	pc, err := p.get(to)
+	if err != nil {
+		return err
+	}
+	err = op(pc.e, pc.d)
+	if err == nil || isProtocolErr(err) {
+		p.put(pc)
+		return err
+	}
+	reused := pc.reused
+	p.discard(pc)
+	if !reused {
+		return err
+	}
+	if pc, err = p.dial(to); err != nil {
+		return err
+	}
+	err = op(pc.e, pc.d)
+	if err == nil || isProtocolErr(err) {
+		p.put(pc)
+		return err
+	}
+	p.discard(pc)
+	return err
+}

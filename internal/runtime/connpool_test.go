@@ -1,0 +1,239 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pado/internal/data"
+	"pado/internal/metrics"
+	"pado/internal/simnet"
+)
+
+// serveBlocks runs a minimal data-plane server on nd: fetches are
+// answered from blocks, pushes are always rejected with respNo — the
+// answer a replacement executor gives a stale-generation push.
+func serveBlocks(t *testing.T, nd *simnet.Node, blocks map[string][]byte) {
+	t.Helper()
+	l, err := nd.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept(nil)
+			if err != nil {
+				return
+			}
+			go func(conn *simnet.Conn) {
+				defer conn.Close()
+				d := data.NewDecoder(connReader{conn})
+				e := data.NewEncoder(conn)
+				for {
+					op, err := d.Byte()
+					if err != nil {
+						return
+					}
+					switch op {
+					case frameFetch:
+						id, err := d.String()
+						if err != nil {
+							return
+						}
+						if b, ok := blocks[id]; ok {
+							e.Byte(respOK)
+							e.Bytes(b)
+						} else {
+							e.Byte(respNo)
+						}
+					case framePush:
+						if _, err := readPushFrame(d); err != nil {
+							return
+						}
+						e.Byte(respNo)
+					default:
+						return
+					}
+					if e.Flush() != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func newPoolFixture(t *testing.T, blocks map[string][]byte) (*simnet.Network, *connPool, *metrics.Job) {
+	t.Helper()
+	net := simnet.New(simnet.Config{})
+	if _, err := net.AddNode("client"); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := net.AddNode("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveBlocks(t, srv, blocks)
+	met := &metrics.Job{}
+	pool := newConnPool(net, "client", met)
+	t.Cleanup(pool.closeAll)
+	return net, pool, met
+}
+
+func TestConnPoolReusesConnections(t *testing.T) {
+	_, pool, met := newPoolFixture(t, map[string][]byte{"blk": []byte("payload")})
+	const n = 6
+	for i := 0; i < n; i++ {
+		got, err := fetchBlock(pool, "server", "blk")
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("fetch %d = %q, %v", i, got, err)
+		}
+	}
+	if d := met.Counter(metrics.NameConnDials).Load(); d != 1 {
+		t.Errorf("conn_dials = %d, want 1", d)
+	}
+	if r := met.Counter(metrics.NameConnReuses).Load(); r != n-1 {
+		t.Errorf("conn_reuses = %d, want %d", r, n-1)
+	}
+}
+
+func TestConnPoolProtocolErrorKeepsConn(t *testing.T) {
+	// respNo answers (missing block, rejected push) are not transport
+	// failures: the conn must go back to the pool and must not trigger
+	// the retry-on-fresh-dial path.
+	_, pool, met := newPoolFixture(t, nil)
+	if _, err := fetchBlock(pool, "server", "absent"); !errorsIs(err, errBlockNotFound) {
+		t.Fatalf("err = %v, want errBlockNotFound", err)
+	}
+	f := &pushFrame{Stage: 1, Gen: 7, Cover: []senderRef{{Index: 0, Attempt: 0}},
+		Sections: []pushSection{{Payload: []byte("x")}}}
+	if err := sendPush(pool, "server", f); !errorsIs(err, errPushRejected) {
+		t.Fatalf("err = %v, want errPushRejected", err)
+	}
+	if d := met.Counter(metrics.NameConnDials).Load(); d != 1 {
+		t.Errorf("conn_dials = %d, want 1 (protocol errors must not redial)", d)
+	}
+}
+
+func TestConnPoolConcurrentCheckout(t *testing.T) {
+	// Hammer one destination from many goroutines; every operation gets
+	// an exclusive conn, so all fetches must succeed and the race
+	// detector must stay quiet.
+	_, pool, met := newPoolFixture(t, map[string][]byte{"blk": []byte("v")})
+	const goroutines, rounds = 16, 20
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := fetchBlock(pool, "server", "blk"); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	dials := met.Counter(metrics.NameConnDials).Load()
+	reuses := met.Counter(metrics.NameConnReuses).Load()
+	if dials+reuses != goroutines*rounds {
+		t.Errorf("dials+reuses = %d, want %d", dials+reuses, goroutines*rounds)
+	}
+	if reuses == 0 {
+		t.Error("expected some connection reuse under concurrency")
+	}
+}
+
+func TestConnPoolInvalidatesOnNodeDown(t *testing.T) {
+	net, pool, _ := newPoolFixture(t, map[string][]byte{"blk": []byte("v")})
+	if _, err := fetchBlock(pool, "server", "blk"); err != nil {
+		t.Fatal(err)
+	}
+	net.RemoveNode("server")
+	_, err := fetchBlock(pool, "server", "blk")
+	if err == nil {
+		t.Fatal("fetch from removed node succeeded")
+	}
+	if !isTransientErr(err) {
+		t.Errorf("err = %v, want a transient (relaunchable) error", err)
+	}
+}
+
+func TestConnPoolPeerRestart(t *testing.T) {
+	// A conn pooled against the old incarnation of a node must not be
+	// trusted after the peer restarts under the same id: the pool must
+	// detect the dead conn, dial the new incarnation, and surface its
+	// respNo for a stale-generation push rather than a transport error.
+	net, pool, _ := newPoolFixture(t, map[string][]byte{"blk": []byte("old")})
+	if _, err := fetchBlock(pool, "server", "blk"); err != nil {
+		t.Fatal(err)
+	}
+	net.RemoveNode("server")
+	srv2, err := net.AddNode("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveBlocks(t, srv2, map[string][]byte{"blk2": []byte("new")})
+
+	got, err := fetchBlock(pool, "server", "blk2")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("fetch from restarted peer = %q, %v", got, err)
+	}
+	f := &pushFrame{Stage: 3, Gen: 1, Cover: []senderRef{{Index: 0, Attempt: 2}},
+		Sections: []pushSection{{Payload: []byte("stale")}}}
+	if err := sendPush(pool, "server", f); !errorsIs(err, errPushRejected) {
+		t.Fatalf("stale push after restart: err = %v, want errPushRejected", err)
+	}
+}
+
+func TestConnPoolCloseAll(t *testing.T) {
+	_, pool, _ := newPoolFixture(t, map[string][]byte{"blk": []byte("v")})
+	if _, err := fetchBlock(pool, "server", "blk"); err != nil {
+		t.Fatal(err)
+	}
+	pool.closeAll()
+	pool.mu.Lock()
+	idle := len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 0 {
+		t.Errorf("idle lists not drained: %d", idle)
+	}
+	// The pool still works after closeAll (ops dial fresh, conns are not
+	// re-pooled) so late stragglers — e.g. replicateProgress goroutines —
+	// don't crash.
+	if _, err := fetchBlock(pool, "server", "blk"); err != nil {
+		t.Fatalf("fetch after closeAll: %v", err)
+	}
+}
+
+func TestFanout(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var mu sync.Mutex
+		seen := make(map[int]bool)
+		err := fanout(10, workers, func(i int) error {
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Errorf("workers=%d: err = %v, want fail-3 (lowest index)", workers, err)
+		}
+		if len(seen) != 10 {
+			t.Errorf("workers=%d: attempted %d of 10 indices", workers, len(seen))
+		}
+	}
+	if err := fanout(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
+		t.Errorf("n=0: err = %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package runtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pado/internal/obs"
+	"pado/internal/simnet"
+	"pado/internal/trace"
+)
+
+// TestMidFanoutPushFailure breaks one receiver's link partway through the
+// push fan-out: frames to the other reserved nodes land, the frame to the
+// broken node fails, and the task must fail WITHOUT committing. The
+// relaunched attempt re-pushes every frame; receivers that already staged
+// the earlier attempt's frames must discard them (superseded by the newer
+// attempt / covered senders already processed), so the final counts are
+// exact despite the duplicates.
+func TestMidFanoutPushFailure(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		// Raw path: pushFrames' parallel per-receiver fan-out.
+		{"raw", Config{DisablePartialAggregation: true}},
+		// Aggregated path: aggBuffer.push covering several tasks.
+		{"aggregated", Config{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, expect := buildWordCount(8, 300)
+			cl := newTestCluster(t, 4, 3, trace.RateNone)
+
+			// Fail every chunk from any transient executor into r1. Pushes
+			// to r2/r3 receivers succeed, so a multi-receiver fan-out fails
+			// after delivering some of its frames. The fault lifts as soon
+			// as relaunches are observed on the event stream — the minimal
+			// window that still guarantees a mid-fan-out failure happened,
+			// without racing the master's relaunch-attempt budget.
+			remove := cl.Net().InjectFault(simnet.LinkFault{From: "t", To: "r1", DropEvery: 1})
+			tr := obs.New()
+			var relaunches atomic.Int64
+			tr.SetTap(func(ev obs.Event) {
+				if ev.Kind == obs.TaskRelaunched && relaunches.Add(1) >= 2 {
+					remove()
+				}
+			})
+			tc.cfg.Tracer = tr
+
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			res, err := Run(ctx, cl, p.Graph(), tc.cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Metrics.TimedOut {
+				t.Fatal("timed out")
+			}
+			if res.Metrics.RelaunchedTasks == 0 {
+				t.Error("fault produced no relaunches; fan-out failure path not exercised")
+			}
+			checkWordCount(t, res, expect)
+		})
+	}
+}
+
+func TestAttributeBytes(t *testing.T) {
+	for _, tc := range []struct {
+		total int64
+		n     int
+	}{
+		{0, 1}, {1, 1}, {10, 3}, {9, 3}, {7, 8}, {1 << 40, 7}, {99, 100},
+	} {
+		shares := attributeBytes(tc.total, tc.n)
+		if len(shares) != tc.n {
+			t.Fatalf("attributeBytes(%d, %d): %d shares", tc.total, tc.n, len(shares))
+		}
+		var sum int64
+		for i, s := range shares {
+			sum += s
+			if i > 0 && (s < shares[tc.n-1]-1 || s > shares[0]) {
+				t.Errorf("attributeBytes(%d, %d): uneven share %d at %d", tc.total, tc.n, s, i)
+			}
+		}
+		if sum != tc.total {
+			t.Errorf("attributeBytes(%d, %d) sums to %d", tc.total, tc.n, sum)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pado/internal/cluster"
@@ -39,6 +40,7 @@ type Executor struct {
 	cache  *inputCache
 	flight *recache.Flight
 	cpu    *simnet.Limiter // nil = unlimited compute capacity
+	pool   *connPool       // outbound data-plane connection reuse
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -68,6 +70,7 @@ func newExecutor(c *cluster.Container, net *simnet.Network, plan *core.Plan, cfg
 		store:     storage.NewLocalStore(),
 		cache:     newInputCache(cfg.cacheCapacity()),
 		flight:    recache.NewFlight(),
+		pool:      newConnPool(net, c.ID, met),
 		cpu:       c.CPU,
 		stop:      make(chan struct{}),
 		receivers: make(map[recvKey]*receiver),
@@ -103,6 +106,7 @@ func (ex *Executor) shutdown() {
 		for _, r := range recvs {
 			r.cancel()
 		}
+		ex.pool.closeAll()
 	})
 }
 
@@ -295,6 +299,18 @@ func (spec taskSpec) ref() taskRef {
 	return taskRef{Stage: spec.Stage, Gen: spec.Gen, Frag: spec.Frag, Index: spec.Index, Attempt: spec.Attempt}
 }
 
+// inputFetch is one pending cross-stage input transfer of a fragment
+// task. Fetches are collected first and issued concurrently — they hit
+// distinct parent partitions on possibly distinct owners — then applied
+// in plan order so record ordering stays deterministic.
+type inputFetch struct {
+	op dag.VertexID
+	si core.StageInput
+
+	recs   []data.Record
+	cached bool
+}
+
 // computeFragment resolves the task's external inputs and interprets the
 // fused operator chain.
 func (ex *Executor) computeFragment(ps *core.PhysStage, frag *core.Fragment, spec taskSpec) (map[dag.VertexID][]data.Record, []cacheKey, error) {
@@ -305,6 +321,7 @@ func (ex *Executor) computeFragment(ps *core.PhysStage, frag *core.Fragment, spe
 		Read:  make(map[dag.VertexID]func() (dataflow.Iterator, error)),
 	}
 	var cached []cacheKey
+	var fetches []*inputFetch
 
 	for _, opID := range frag.Ops {
 		v := g.Vertex(opID)
@@ -343,36 +360,49 @@ func (ex *Executor) computeFragment(ps *core.PhysStage, frag *core.Fragment, spe
 		}
 
 		for _, si := range ps.InputsTo(opID) {
-			loc, ok := spec.InputLocs[si.FromStage]
-			if !ok {
+			if _, ok := spec.InputLocs[si.FromStage]; !ok {
 				return nil, cached, fmt.Errorf("runtime: missing input location for stage %d", si.FromStage)
 			}
-			coder, err := dataflow.OutputCoder(g.Vertex(si.FromVertex))
-			if err != nil {
-				return nil, cached, err
-			}
-			switch si.Dep {
-			case dag.OneToOne:
-				recs, wasCached, err := ex.fetchPartition(si, loc, spec.Index, coder)
-				if err != nil {
-					return nil, cached, err
-				}
-				if wasCached {
-					cached = append(cached, cacheKey{Vertex: si.FromVertex, Partition: spec.Index})
-				}
-				addTagged(in.Ext, opID, si.Tag, recs)
-			case dag.OneToMany:
-				recs, hit, err := ex.fetchBroadcast(si, loc, coder)
-				if err != nil {
-					return nil, cached, err
-				}
-				if hit {
-					cached = append(cached, cacheKey{Vertex: si.FromVertex, Partition: -1})
-				}
-				addTagged(in.Sides, opID, si.Tag, recs)
-			default:
+			if si.Dep != dag.OneToOne && si.Dep != dag.OneToMany {
 				return nil, cached, fmt.Errorf("runtime: transient operator %q has %v cross-stage input", v.Name, si.Dep)
 			}
+			fetches = append(fetches, &inputFetch{op: opID, si: si})
+		}
+	}
+
+	// Issue the independent cross-stage fetches concurrently; each targets
+	// a different parent edge, so serializing them just sums their network
+	// round trips onto the task's critical path.
+	err := fanout(len(fetches), maxFetchWorkers, func(i int) error {
+		f := fetches[i]
+		loc := spec.InputLocs[f.si.FromStage]
+		coder, err := dataflow.OutputCoder(g.Vertex(f.si.FromVertex))
+		if err != nil {
+			return err
+		}
+		if f.si.Dep == dag.OneToOne {
+			f.recs, f.cached, err = ex.fetchPartition(f.si, loc, spec.Index, coder)
+		} else {
+			f.recs, f.cached, err = ex.fetchBroadcast(f.si, loc, coder)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, cached, err
+	}
+	// Apply in collection (plan) order: record ordering and the reported
+	// cache keys stay identical to the serial implementation.
+	for _, f := range fetches {
+		if f.si.Dep == dag.OneToOne {
+			if f.cached {
+				cached = append(cached, cacheKey{Vertex: f.si.FromVertex, Partition: spec.Index})
+			}
+			addTagged(in.Ext, f.op, f.si.Tag, f.recs)
+		} else {
+			if f.cached {
+				cached = append(cached, cacheKey{Vertex: f.si.FromVertex, Partition: -1})
+			}
+			addTagged(in.Sides, f.op, f.si.Tag, f.recs)
 		}
 	}
 	in.Throttle = ex.throttle
@@ -417,8 +447,10 @@ func materialize(src dataflow.Source, part int) ([]data.Record, error) {
 
 // fetchPartition pulls one aligned partition of a parent stage's output,
 // through the input cache when the plan marked the edge cacheable. The
-// second result reports whether the records are now cached here, so the
-// master's cache index can steer future tasks to this executor (§3.2.7).
+// second result reports whether the records are now resident in this
+// executor's cache — hit or fresh fill alike — so the master's cache
+// index can steer future tasks to this executor (§3.2.7). fetchBroadcast
+// reports the same "resident here" semantics.
 func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, coder data.Coder) ([]data.Record, bool, error) {
 	if part >= len(loc.Execs) {
 		return nil, false, fmt.Errorf("runtime: partition %d out of range for stage %d", part, si.FromStage)
@@ -426,7 +458,7 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 	fetch := func() ([]data.Record, error) {
 		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: part,
 			Task: part, Exec: ex.id})
-		payload, err := fetchBlock(ex.net, ex.id, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
+		payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
 		if err != nil {
 			return nil, err
 		}
@@ -461,28 +493,39 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 }
 
 // fetchBroadcast pulls every partition of a parent stage's output (a
-// one-to-many side input). Cached broadcasts go through a singleflight
-// group so concurrent task slots share one network fetch (§3.2.7: the
-// data "only needs to be sent once to the executors"). Returns whether
-// the result was newly cached.
+// one-to-many side input) concurrently, with fan-out bounded by
+// maxFetchWorkers. Cached broadcasts go through a singleflight group so
+// concurrent task slots share one network fetch (§3.2.7: the data "only
+// needs to be sent once to the executors").
+//
+// The boolean result matches fetchPartition: it reports whether the
+// broadcast records are now resident in this executor's cache ("resident
+// here"), which is what the master's cache index wants for steering —
+// a hit, a fresh fill, and a singleflight-shared fill all qualify.
+// (Previously a broadcast hit reported false while a partition hit
+// reported true, so the index diverged for side-inputs.)
 func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.Coder) ([]data.Record, bool, error) {
 	fetch := func() ([]data.Record, error) {
 		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: -1,
 			Task: -1, Exec: ex.id, Note: "broadcast"})
-		var recs []data.Record
+		parts := make([][]data.Record, len(loc.Execs))
 		var total int64
-		for part, owner := range loc.Execs {
-			payload, err := fetchBlock(ex.net, ex.id, owner, stageBlockID(si.FromStage, loc.Gen, part))
+		err := fanout(len(loc.Execs), maxFetchWorkers, func(part int) error {
+			payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ex.met.BytesFetched.Add(int64(len(payload)))
-			total += int64(len(payload))
-			part, err := data.DecodeAll(coder, payload)
-			if err != nil {
-				return nil, err
-			}
-			recs = append(recs, part...)
+			atomic.AddInt64(&total, int64(len(payload)))
+			parts[part], err = data.DecodeAll(coder, payload)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var recs []data.Record
+		for _, p := range parts {
+			recs = append(recs, p...)
 		}
 		ex.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: si.FromStage, Frag: -1,
 			Task: -1, Exec: ex.id, Bytes: total, Note: "broadcast"})
@@ -498,13 +541,12 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 		ex.met.CacheHits.Add(1)
 		ex.tr.Emit(obs.Event{Kind: obs.CacheHit, Stage: si.FromStage, Frag: -1,
 			Task: -1, Exec: ex.id, Note: "broadcast"})
-		return recs, false, nil
+		return recs, true, nil
 	}
 	ex.met.CacheMisses.Add(1)
 	ex.tr.Emit(obs.Event{Kind: obs.CacheMiss, Stage: si.FromStage, Frag: -1,
 		Task: -1, Exec: ex.id, Note: "broadcast"})
-	newly := false
-	recs, shared, err := ex.flight.Do(key, func() ([]data.Record, error) {
+	recs, _, err := ex.flight.Do(key, func() ([]data.Record, error) {
 		recs, err := fetch()
 		if err != nil {
 			return nil, err
@@ -512,11 +554,7 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 		ex.cache.Put(key, recs)
 		return recs, nil
 	})
-	if err != nil {
-		return nil, false, err
-	}
-	newly = !shared
-	return recs, newly, nil
+	return recs, err == nil, err
 }
 
 // sendTerminal pushes a terminal transient task's output to the master
@@ -536,7 +574,7 @@ func (ex *Executor) sendTerminal(ps *core.PhysStage, frag *core.Fragment, spec t
 		Task: spec.Index, Attempt: spec.Attempt, Exec: ex.id, Bytes: int64(len(payload)),
 		Note: "result"})
 	f := &resultFrame{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index, Attempt: spec.Attempt, Payload: payload}
-	if err := sendResult(ex.net, ex.id, ex.masterID, f); err != nil {
+	if err := sendResult(ex.pool, ex.masterID, f); err != nil {
 		if !ex.stopped() {
 			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err})
 		}
@@ -652,6 +690,21 @@ func (b *aggBuffer) flushTimer() {
 	b.push(tables, cover)
 }
 
+// attributeBytes splits total evenly across n covered tasks. Integer
+// division alone drops up to n-1 bytes per frame, so the first task
+// carries the remainder; the shares always sum exactly to total, keeping
+// eviction-cost attribution in the profiler consistent with the byte
+// counters.
+func attributeBytes(total int64, n int) []int64 {
+	shares := make([]int64, n)
+	share := total / int64(n)
+	for i := range shares {
+		shares[i] = share
+	}
+	shares[0] += total - share*int64(n)
+	return shares
+}
+
 // push sends one aggregated frame per receiver, then commits every
 // covered task through the master.
 func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
@@ -671,10 +724,11 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 	}
 	// Attribute the aggregated frame's bytes evenly across the covered
 	// tasks so per-task trace spans still sum to the frame size.
-	for _, c := range cover {
+	shares := attributeBytes(total, len(cover))
+	for ci, c := range cover {
 		ex.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: b.stage, Frag: b.frag,
 			Task: c.Index, Attempt: c.Attempt, Exec: ex.id,
-			Bytes: total / int64(len(cover)), Note: "aggregated"})
+			Bytes: shares[ci], Note: "aggregated"})
 	}
 	for i := range b.receiver {
 		if errs[i] != nil {
@@ -688,7 +742,7 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 		wg.Add(1)
 		go func(i int, f *pushFrame, n int) {
 			defer wg.Done()
-			if err := sendPush(ex.net, ex.id, b.receiver[i], f); err != nil {
+			if err := sendPush(ex.pool, b.receiver[i], f); err != nil {
 				errs[i] = err
 				return
 			}

@@ -1,0 +1,59 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxFetchWorkers bounds the concurrency of a single fetch fan-out
+// (broadcast partition pulls, receiver input fetches, cross-stage input
+// resolution). Pushes are not bounded here: a task pushes to at most the
+// stage's receiver count, which the physical plan already keeps small.
+const maxFetchWorkers = 8
+
+// fanout runs fn(0..n-1) on up to workers concurrent goroutines and
+// returns the lowest-index error. Picking the lowest index (rather than
+// whichever goroutine lost the race) keeps the reported failure
+// deterministic for a fixed set of per-index outcomes, which the chaos
+// determinism gate relies on. All indices are attempted even after a
+// failure; callers treat the results as all-or-nothing.
+func fanout(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 1 || workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

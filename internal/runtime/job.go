@@ -55,6 +55,7 @@ func RunPlan(ctx context.Context, cl *cluster.Cluster, plan *core.Plan, cfg Conf
 	}
 	defer stopCollector()
 	defer cl.Stop()
+	defer m.pool.closeAll()
 
 	if err := cl.Start(m); err != nil {
 		return nil, err
@@ -166,7 +167,7 @@ func (m *Master) collectOutputs() (map[dag.VertexID][]data.Record, error) {
 		var recs []data.Record
 		if s.ps.RootReserved {
 			for part, exID := range s.outputExecs {
-				payload, err := fetchBlock(m.net, "master", exID, stageBlockID(s.ps.ID, s.gen, part))
+				payload, err := fetchBlock(m.pool, exID, stageBlockID(s.ps.ID, s.gen, part))
 				if err != nil {
 					return nil, err
 				}

@@ -27,6 +27,9 @@ type Master struct {
 	net  *simnet.Network
 	met  *metrics.Job
 	tr   *obs.Buf // event-loop-confined trace buffer (nil = tracing off)
+	// pool reuses master-originated data-plane connections (progress
+	// replication, output collection).
+	pool *connPool
 
 	events chan event
 	// overflow carries the first "event queue full" error out of the
@@ -127,6 +130,7 @@ func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Jo
 		assignments: make(map[taskRef]string),
 		cacheIndex:  make(map[cacheKey]map[string]bool),
 	}
+	m.pool = newConnPool(m.net, "master", met)
 	m.stages = make([]*stageRun, len(plan.Stages))
 	for i, ps := range plan.Stages {
 		m.stages[i] = &stageRun{ps: ps}

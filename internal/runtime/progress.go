@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"pado/internal/data"
-	"pado/internal/simnet"
 )
 
 // Progress is the master's execution-progress metadata (§3.2.6): the
@@ -45,30 +44,27 @@ const progressBlockID = "pado/progress"
 
 // Encode serializes the progress metadata.
 func (p *Progress) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	e := data.NewEncoder(&buf)
-	if err := e.Uvarint(uint64(len(p.Stages))); err != nil {
-		return nil, err
-	}
-	for _, s := range p.Stages {
-		e.Varint(int64(s.ID))
-		e.Varint(int64(s.Gen))
-		done := byte(0)
-		if s.Done {
-			done = 1
+	return data.Encoded(func(e *data.Encoder) error {
+		if err := e.Uvarint(uint64(len(p.Stages))); err != nil {
+			return err
 		}
-		e.Byte(done)
-		e.Uvarint(uint64(len(s.OutputExecs)))
-		for _, x := range s.OutputExecs {
-			if err := e.String(x); err != nil {
-				return nil, err
+		for _, s := range p.Stages {
+			e.Varint(int64(s.ID))
+			e.Varint(int64(s.Gen))
+			done := byte(0)
+			if s.Done {
+				done = 1
+			}
+			e.Byte(done)
+			e.Uvarint(uint64(len(s.OutputExecs)))
+			for _, x := range s.OutputExecs {
+				if err := e.String(x); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	if err := e.Flush(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+		return nil
+	})
 }
 
 // DecodeProgress parses metadata produced by Encode.
@@ -144,45 +140,41 @@ func (m *Master) replicateProgress() {
 	if len(targets) == 0 {
 		return
 	}
-	net := m.net
+	pool := m.pool
 	go func() {
 		payload, err := snap.Encode()
 		if err != nil {
 			return
 		}
 		for _, id := range targets {
-			_ = storeBlock(net, "master", id, progressBlockID, payload)
+			_ = storeBlock(pool, id, progressBlockID, payload)
 		}
 	}()
 }
 
-// storeBlock writes a block into a remote executor's local store.
-func storeBlock(net *simnet.Network, from, owner, blockID string, payload []byte) error {
-	conn, err := net.Dial(from, owner)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	e := data.NewEncoder(conn)
-	if err := e.Byte(frameStore); err != nil {
-		return err
-	}
-	if err := e.String(blockID); err != nil {
-		return err
-	}
-	if err := e.Bytes(payload); err != nil {
-		return err
-	}
-	if err := e.Flush(); err != nil {
-		return err
-	}
-	d := data.NewDecoder(conn)
-	resp, err := d.Byte()
-	if err != nil {
-		return err
-	}
-	if resp != respOK {
-		return fmt.Errorf("runtime: store of %q on %s rejected", blockID, owner)
-	}
-	return nil
+// storeBlock writes a block into a remote executor's local store over a
+// pooled connection.
+func storeBlock(pool *connPool, owner, blockID string, payload []byte) error {
+	return pool.do(owner, func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(frameStore); err != nil {
+			return err
+		}
+		if err := e.String(blockID); err != nil {
+			return err
+		}
+		if err := e.Bytes(payload); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return fmt.Errorf("runtime: store of %q on %s rejected", blockID, owner)
+		}
+		return nil
+	})
 }

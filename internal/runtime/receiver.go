@@ -3,6 +3,7 @@ package runtime
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 
 	"pado/internal/core"
 	"pado/internal/dag"
@@ -178,7 +179,7 @@ func (r *receiver) pull(c msgCommit) error {
 	id := taskBlockID(r.spec.Stage, r.spec.Gen, c.Frag, c.Index, c.Attempt, r.spec.Index)
 	r.ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: r.spec.Stage, Frag: c.Frag,
 		Task: c.Index, Attempt: c.Attempt, Exec: r.ex.id, Note: "pull"})
-	payload, err := fetchBlock(r.ex.net, r.ex.id, c.Exec, id)
+	payload, err := fetchBlock(r.ex.pool, c.Exec, id)
 	if err != nil {
 		return err
 	}
@@ -358,26 +359,35 @@ func allParts(loc stageLoc) []int {
 }
 
 // fetchParts pulls and decodes the listed partitions of a parent stage's
-// output.
+// output. Partitions are fetched concurrently (bounded by
+// maxFetchWorkers) and reassembled in the order of parts, so the record
+// order the receiver sees is independent of fetch timing.
 func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, parts []int) ([]data.Record, error) {
-	r.ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: fromStage, Frag: obs.ReservedFrag,
-		Task: r.spec.Index, Exec: r.ex.id, Note: "receiver"})
-	var recs []data.Record
-	var total int64
 	for _, p := range parts {
 		if p >= len(loc.Execs) {
 			return nil, fmt.Errorf("runtime: partition %d out of range for stage %d", p, fromStage)
 		}
-		payload, err := fetchBlock(r.ex.net, r.ex.id, loc.Execs[p], stageBlockID(fromStage, loc.Gen, p))
+	}
+	r.ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: fromStage, Frag: obs.ReservedFrag,
+		Task: r.spec.Index, Exec: r.ex.id, Note: "receiver"})
+	decoded := make([][]data.Record, len(parts))
+	var total int64
+	err := fanout(len(parts), maxFetchWorkers, func(i int) error {
+		p := parts[i]
+		payload, err := fetchBlock(r.ex.pool, loc.Execs[p], stageBlockID(fromStage, loc.Gen, p))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r.ex.met.BytesFetched.Add(int64(len(payload)))
-		total += int64(len(payload))
-		part, err := data.DecodeAll(coder, payload)
-		if err != nil {
-			return nil, err
-		}
+		atomic.AddInt64(&total, int64(len(payload)))
+		decoded[i], err = data.DecodeAll(coder, payload)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var recs []data.Record
+	for _, part := range decoded {
 		recs = append(recs, part...)
 	}
 	r.ex.tr.Emit(obs.Event{Kind: obs.FetchDone, Stage: fromStage, Frag: obs.ReservedFrag,

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"pado/internal/data"
-	"pado/internal/simnet"
 )
 
 // Executor data-plane frame types.
@@ -136,26 +135,22 @@ func readPushFrame(d *data.Decoder) (*pushFrame, error) {
 	return f, nil
 }
 
-// sendPush delivers a frame to the receiver's executor node and waits for
-// the acknowledgement.
-func sendPush(net *simnet.Network, from, to string, f *pushFrame) error {
-	conn, err := net.Dial(from, to)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	if err := writePushFrame(data.NewEncoder(conn), f); err != nil {
-		return err
-	}
-	d := data.NewDecoder(conn)
-	resp, err := d.Byte()
-	if err != nil {
-		return err
-	}
-	if resp != respOK {
-		return fmt.Errorf("push to %s (stage %d recv %d): %w", to, f.Stage, f.RecvIdx, errPushRejected)
-	}
-	return nil
+// sendPush delivers a frame to the receiver's executor node over a pooled
+// connection and waits for the acknowledgement.
+func sendPush(pool *connPool, to string, f *pushFrame) error {
+	return pool.do(to, func(e *data.Encoder, d *data.Decoder) error {
+		if err := writePushFrame(e, f); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return fmt.Errorf("push to %s (stage %d recv %d): %w", to, f.Stage, f.RecvIdx, errPushRejected)
+		}
+		return nil
+	})
 }
 
 // errBlockNotFound marks a fetch of a missing block.
@@ -165,32 +160,34 @@ var errBlockNotFound = errors.New("runtime: block not found")
 // receiver — a benign race with stage restarts or recovery.
 var errPushRejected = errors.New("runtime: push rejected")
 
-// fetchBlock pulls a named block from owner's local store.
-func fetchBlock(net *simnet.Network, from, owner, blockID string) ([]byte, error) {
-	conn, err := net.Dial(from, owner)
+// fetchBlock pulls a named block from owner's local store over a pooled
+// connection.
+func fetchBlock(pool *connPool, owner, blockID string) ([]byte, error) {
+	var payload []byte
+	err := pool.do(owner, func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(frameFetch); err != nil {
+			return err
+		}
+		if err := e.String(blockID); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return fmt.Errorf("fetch %q from %s: %w", blockID, owner, err)
+		}
+		if resp != respOK {
+			return fmt.Errorf("fetch %q from %s: %w", blockID, owner, errBlockNotFound)
+		}
+		payload, err = d.Bytes(0)
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("fetch %q from %s: %w", blockID, owner, err)
-	}
-	defer conn.Close()
-	e := data.NewEncoder(conn)
-	if err := e.Byte(frameFetch); err != nil {
 		return nil, err
 	}
-	if err := e.String(blockID); err != nil {
-		return nil, err
-	}
-	if err := e.Flush(); err != nil {
-		return nil, err
-	}
-	d := data.NewDecoder(conn)
-	resp, err := d.Byte()
-	if err != nil {
-		return nil, fmt.Errorf("fetch %q from %s: %w", blockID, owner, err)
-	}
-	if resp != respOK {
-		return nil, fmt.Errorf("fetch %q from %s: %w", blockID, owner, errBlockNotFound)
-	}
-	return d.Bytes(0)
+	return payload, nil
 }
 
 // resultFrame is a terminal-transient stage's output push to the master.
@@ -202,35 +199,30 @@ type resultFrame struct {
 	Payload []byte
 }
 
-func sendResult(net *simnet.Network, from, masterID string, f *resultFrame) error {
-	conn, err := net.Dial(from, masterID)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	e := data.NewEncoder(conn)
-	if err := e.Byte(frameResult); err != nil {
-		return err
-	}
-	e.Varint(int64(f.Stage))
-	e.Varint(int64(f.Gen))
-	e.Varint(int64(f.Index))
-	e.Varint(int64(f.Attempt))
-	if err := e.Bytes(f.Payload); err != nil {
-		return err
-	}
-	if err := e.Flush(); err != nil {
-		return err
-	}
-	d := data.NewDecoder(conn)
-	resp, err := d.Byte()
-	if err != nil {
-		return err
-	}
-	if resp != respOK {
-		return fmt.Errorf("runtime: result push rejected")
-	}
-	return nil
+func sendResult(pool *connPool, masterID string, f *resultFrame) error {
+	return pool.do(masterID, func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(frameResult); err != nil {
+			return err
+		}
+		e.Varint(int64(f.Stage))
+		e.Varint(int64(f.Gen))
+		e.Varint(int64(f.Index))
+		e.Varint(int64(f.Attempt))
+		if err := e.Bytes(f.Payload); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return fmt.Errorf("runtime: result push rejected")
+		}
+		return nil
+	})
 }
 
 func readResultFrame(d *data.Decoder) (*resultFrame, error) {

@@ -9,6 +9,7 @@ import (
 
 	"pado/internal/dag"
 	"pado/internal/data"
+	"pado/internal/metrics"
 	"pado/internal/simnet"
 )
 
@@ -176,14 +177,16 @@ func TestFetchBlockAgainstServer(t *testing.T) {
 		}
 	}()
 
-	got, err := fetchBlock(net, "client", "server", "have")
+	pool := newConnPool(net, "client", &metrics.Job{})
+	defer pool.closeAll()
+	got, err := fetchBlock(pool, "server", "have")
 	if err != nil || string(got) != "payload" {
 		t.Fatalf("fetch = %q, %v", got, err)
 	}
-	if _, err := fetchBlock(net, "client", "server", "missing"); err == nil {
+	if _, err := fetchBlock(pool, "server", "missing"); err == nil {
 		t.Error("expected not-found error")
 	}
-	if _, err := fetchBlock(net, "client", "nonexistent", "x"); err == nil {
+	if _, err := fetchBlock(pool, "nonexistent", "x"); err == nil {
 		t.Error("expected dial error")
 	}
 }

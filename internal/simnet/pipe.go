@@ -93,6 +93,14 @@ func (p *pipe) closeSend() {
 	p.mu.Unlock()
 }
 
+// broken reports whether the pipe can no longer carry data: it hit a
+// terminal error or its writer half-closed.
+func (p *pipe) broken() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err != nil || p.sendDone
+}
+
 // closeWithError makes subsequent reads fail with err once buffered data
 // is drained, and pushes fail immediately. A pipe already terminated keeps
 // its first error.

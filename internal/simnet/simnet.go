@@ -447,6 +447,18 @@ func (c *Conn) Read(b []byte) (int, error) {
 	return c.rd.read(b)
 }
 
+// Alive reports whether the stream is still usable: both endpoints are up
+// and neither direction has been closed or broken. A true result is
+// advisory — the peer can go down between the check and the next use — so
+// callers must still handle write/read errors; connection pools use it to
+// cheaply discard conns whose peer was already evicted or restarted.
+func (c *Conn) Alive() bool {
+	if c.local.Closed() || c.remote.Closed() {
+		return false
+	}
+	return !c.rd.broken() && !c.wr.broken()
+}
+
 // Close shuts down both directions of the stream. The remote side sees EOF
 // on reads of data written before Close and ErrConnClosed afterwards.
 func (c *Conn) Close() error {
