@@ -44,6 +44,8 @@ func main() {
 	reserved := flag.Int("reserved", 3, "reserved containers")
 	scaleMS := flag.Int("scale", 50, "wall milliseconds per paper minute")
 	seed := flag.Int64("seed", 1, "seed")
+	policy := flag.String("policy", "", "placement policy for the pado engine: "+
+		strings.Join(core.PolicyNames(), ", ")+" (default: paper)")
 	showPlan := flag.Bool("plan", false, "print the compiled plan (placements and stages)")
 	dot := flag.Bool("dot", false, "print the placed logical DAG in Graphviz format")
 	sample := flag.Int("sample", 5, "output records to print")
@@ -105,20 +107,31 @@ func main() {
 		fatalf("unknown workload %q", *workload)
 	}
 
+	pol, err := core.PolicyByName(*policy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	scale := vtime.NewScale(time.Duration(*scaleMS) * time.Millisecond)
-	cl, err := cluster.New(cluster.Config{
+	clCfg := cluster.Config{
 		Transient: *transient,
 		Reserved:  *reserved,
 		Lifetimes: trace.Lifetimes(r),
 		Scale:     scale,
 		Seed:      *seed,
-	})
+	}
+	cl, err := cluster.New(clCfg)
 	if err != nil {
 		fatalf("cluster: %v", err)
 	}
+	planCfg := core.PlanConfig{
+		ReduceParallelism: 2 * *reserved,
+		Policy:            pol,
+		Env:               clCfg.PlacementEnv(),
+	}
 
 	if *showPlan || *dot {
-		plan, err := core.Compile(clone(pipe, *workload).Graph(), core.PlanConfig{ReduceParallelism: 2 * *reserved})
+		plan, err := core.Compile(clone(pipe, *workload).Graph(), planCfg)
 		if err != nil {
 			fatalf("compile: %v", err)
 		}
@@ -154,7 +167,7 @@ func main() {
 	switch strings.ToLower(*engine) {
 	case "pado":
 		cfg := runtime.Config{
-			Plan:   core.PlanConfig{ReduceParallelism: 2 * *reserved},
+			Plan:   planCfg,
 			Tracer: tracer,
 		}
 		if chaosEngine != nil {
@@ -210,7 +223,7 @@ func main() {
 			}
 		}
 		if *reportOut != "" {
-			rep := analyze.Analyze(events, analyze.Options{
+			opts := analyze.Options{
 				StageParents: stageParents,
 				Scale:        analyze.ScaleInfo{WallPerMinute: scale.WallPerMinute},
 				JCT:          jct,
@@ -220,7 +233,11 @@ func main() {
 				Rate:         r.String(),
 				Seed:         *seed,
 				Snapshot:     &snap,
-			})
+			}
+			if strings.ToLower(*engine) == "pado" {
+				opts.Policy = pol.Name()
+			}
+			rep := analyze.Analyze(events, opts)
 			if err := writeExport(*reportOut, func(w *os.File) error {
 				return rep.WriteJSON(w)
 			}); err != nil {
@@ -281,7 +298,7 @@ func summarize(r data.Record) string {
 
 func printPlan(plan *core.Plan) {
 	g := plan.Graph
-	fmt.Println("operator placement (Algorithm 1):")
+	fmt.Printf("operator placement (policy %s):\n", plan.Policy)
 	order, _ := g.TopoSort()
 	for _, id := range order {
 		v := g.Vertex(id)

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"pado/internal/core"
 	"pado/internal/simnet"
 	"pado/internal/trace"
 	"pado/internal/vtime"
@@ -101,6 +102,25 @@ func (c Config) slots() int {
 		return 4
 	}
 	return c.Slots
+}
+
+// PlacementEnv derives the capacity description consumed by
+// capacity-aware placement policies: the cell's reserved and transient
+// slot totals, and the expected eviction rate. With N transient
+// containers whose lifetimes average m paper-minutes, evictions arrive at
+// N/m per paper-minute in steady state (each eviction is immediately
+// replaced, so the population is constant).
+func (c Config) PlacementEnv() core.PolicyEnv {
+	env := core.PolicyEnv{
+		ReservedSlotBudget: c.Reserved * c.slots(),
+		TransientSlots:     c.Transient * c.slots(),
+	}
+	if !c.Lifetimes.Empty() {
+		if m := c.Lifetimes.Mean(); m > 0 {
+			env.EvictionsPerMinute = float64(c.Transient) / m
+		}
+	}
+	return env
 }
 
 func (c Config) minLifetime() time.Duration {

@@ -122,7 +122,7 @@ func TestPartitioningMLRStages(t *testing.T) {
 	if err := ResolveParallelism(g, PlanConfig{ReduceParallelism: 3}); err != nil {
 		t.Fatal(err)
 	}
-	stages, err := PartitionStages(g)
+	stages, err := PartitionStages(g, PlacementsFromGraph(g))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestReduceParallelismDefault(t *testing.T) {
 
 func TestCompileRejectsUnplacedPartitioning(t *testing.T) {
 	g := workloads.MR(workloads.MRConfig{Partitions: 2, LinesPerPart: 1, Docs: 2, Seed: 1}).Graph()
-	if _, err := PartitionStages(g); err == nil || !strings.Contains(err.Error(), "unplaced") {
+	if _, err := PartitionStages(g, PlacementsFromGraph(g)); err == nil || !strings.Contains(err.Error(), "unplaced") {
 		t.Errorf("expected unplaced error, got %v", err)
 	}
 }

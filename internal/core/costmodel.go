@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"pado/internal/dag"
+)
+
+// CostModel places each operator by its expected recomputation cost under
+// the eviction rate in PolicyEnv, subject to the reserved-slot budget:
+//
+//  1. start from the maximally transient legal assignment (Legalize over
+//     an all-transient baseline) — those reserved vertices are mandatory,
+//     so they are charged against the budget first, even if that exceeds
+//     it: validity trumps budgeting;
+//  2. score every remaining transient vertex by the expected work an
+//     eviction of its output destroys, per reserved slot it would occupy:
+//
+//     score(v) = EvictionsPerMinute × chainWork(v) × reuse(v) / slots(v)
+//
+//     where chainWork(v) is the task count of v plus its transient
+//     ancestors (the recomputation chain an eviction re-runs), reuse(v)
+//     is the number of consumers that would each re-trigger that chain,
+//     and slots(v) = v.Parallelism is the reserved capacity it would
+//     pin;
+//  3. greedily reserve vertices in descending score order (ties broken by
+//     vertex id) while they fit in the remaining budget; vertices that do
+//     not fit stay transient. Read sources are never candidates (the
+//     runtime cannot execute them on reserved containers).
+//
+// With a zero eviction rate every score is zero and the model reserves
+// nothing beyond the mandatory set: if transient capacity is free and
+// never revoked, using it is always preferable. A zero budget means
+// capacity unknown and disables the constraint.
+type CostModel struct{}
+
+// Name implements PlacementPolicy.
+func (CostModel) Name() string { return "cost" }
+
+// Place implements PlacementPolicy.
+func (CostModel) Place(g *dag.Graph, env PolicyEnv) (Placements, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	pl := NewPlacements(g)
+	for id := range pl {
+		pl[id] = dag.PlaceTransient
+	}
+	if _, err := Legalize(g, pl); err != nil {
+		return nil, err
+	}
+
+	budget := env.ReservedSlotBudget
+	if budget <= 0 {
+		budget = math.MaxInt // capacity unknown: unconstrained
+	}
+	spent := 0
+	for _, id := range order {
+		if pl.Reserved(id) {
+			spent += slotsOf(g, id)
+		}
+	}
+
+	if env.EvictionsPerMinute <= 0 {
+		// No evictions expected: transient capacity is free to use and
+		// never revoked, so nothing beyond the mandatory set pays off.
+		return pl, nil
+	}
+
+	type candidate struct {
+		id    dag.VertexID
+		score float64
+		slots int
+	}
+	chain := chainWork(g, order, pl)
+	var cands []candidate
+	for _, id := range order {
+		if pl.Reserved(id) || g.Vertex(id).Kind == dag.KindSourceRead {
+			continue
+		}
+		slots := slotsOf(g, id)
+		score := env.EvictionsPerMinute * chain[id] * reuse(g, id) / float64(slots)
+		cands = append(cands, candidate{id: id, score: score, slots: slots})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if spent+c.slots > budget {
+			continue // does not fit; a cheaper candidate still might
+		}
+		pl[c.id] = dag.PlaceReserved
+		spent += c.slots
+	}
+	// Reserving extra vertices never invalidates an assignment, but the
+	// broadcast rule can involve pairs, so re-run the validity pass to
+	// keep the contract obvious.
+	return Legalize(g, pl)
+}
+
+func slotsOf(g *dag.Graph, id dag.VertexID) int {
+	if p := g.Vertex(id).Parallelism; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// chainWork computes, for every vertex, the task count of the transient
+// recomputation chain an eviction of its output would re-run: its own
+// tasks plus the chains of its transient parents. Reserved parents
+// contribute nothing — their outputs survive evictions. Shared ancestors
+// are counted once per consuming path, matching what re-execution
+// actually costs when intermediate data is gone.
+func chainWork(g *dag.Graph, order []dag.VertexID, pl Placements) map[dag.VertexID]float64 {
+	chain := make(map[dag.VertexID]float64, len(order))
+	for _, id := range order {
+		w := float64(slotsOf(g, id))
+		for _, p := range g.Parents(id) {
+			if !pl.Reserved(p) {
+				w += chain[p]
+			}
+		}
+		chain[id] = w
+	}
+	return chain
+}
+
+// reuse counts the consumers of a vertex — each one re-triggers the
+// recomputation chain when the vertex's transient output is lost.
+// Terminal vertices count as one consumer (the job sink).
+func reuse(g *dag.Graph, id dag.VertexID) float64 {
+	if n := len(g.OutEdges(id)); n > 0 {
+		return float64(n)
+	}
+	return 1
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pado/internal/dag"
+	"pado/internal/workloads"
+)
+
+// planSignature renders a compiled plan as a canonical multi-line string:
+// placements and parallelism in topological order, then every stage with
+// its fragments, boundaries, and cross-stage inputs. Two plans with equal
+// signatures are structurally identical as far as the runtime is
+// concerned, so the golden tests below pin the compiler's output across
+// refactors.
+func planSignature(p *Plan) string {
+	g := p.Graph
+	name := func(id dag.VertexID) string { return g.Vertex(id).Name }
+	var b strings.Builder
+	order, _ := g.TopoSort()
+	b.WriteString("placements:\n")
+	for _, id := range order {
+		v := g.Vertex(id)
+		fmt.Fprintf(&b, "  %s %s p=%d\n", v.Name, v.Placement, v.Parallelism)
+	}
+	b.WriteString("stages:\n")
+	for _, ps := range p.Stages {
+		fmt.Fprintf(&b, "  stage %d root=%s reserved=%v rp=%d rf=%d parents=%v children=%v\n",
+			ps.ID, name(ps.Root), ps.RootReserved, ps.RootParallelism, ps.RootFragment,
+			ps.Parents, ps.Children)
+		for _, f := range ps.Fragments {
+			ops := make([]string, len(f.Ops))
+			for i, op := range f.Ops {
+				ops[i] = name(op)
+			}
+			fmt.Fprintf(&b, "    frag %d p=%d ops=%s\n", f.Index, f.Parallelism, strings.Join(ops, ","))
+			for _, bd := range f.Boundaries {
+				fmt.Fprintf(&b, "      boundary from=%s dep=%s tag=%q\n", name(bd.From), bd.Dep, bd.Tag)
+			}
+		}
+		for _, in := range ps.Inputs {
+			fmt.Fprintf(&b, "    input to=%s fromStage=%d fromVertex=%s dep=%s tag=%q cached=%v\n",
+				name(in.ToOp), in.FromStage, name(in.FromVertex), in.Dep, in.Tag, in.Cached)
+		}
+	}
+	return b.String()
+}
+
+func goldenGraph(w string) *dag.Graph {
+	switch w {
+	case "mr":
+		return workloads.MR(workloads.MRConfig{Partitions: 4, LinesPerPart: 10, Docs: 10, Seed: 1}).Graph()
+	case "mlr":
+		return workloads.MLR(workloads.MLRConfig{Partitions: 4, SamplesPerPart: 4, Features: 8,
+			Classes: 2, NonZeros: 2, Iterations: 2, LearningRate: 0.1, Seed: 1}).Graph()
+	case "als":
+		return workloads.ALS(workloads.ALSConfig{Partitions: 4, RatingsPerPart: 10, Users: 5,
+			Items: 4, Rank: 2, Iterations: 2, Lambda: 0.1, Seed: 1}).Graph()
+	}
+	panic("unknown workload " + w)
+}
+
+// Golden signatures captured from the pre-policy-layer compiler. With no
+// policy configured, Compile must keep producing structurally identical
+// plans for the three paper workloads.
+var goldenPlans = map[string]string{
+	"mr": `placements:
+  read-pageviews transient p=4
+  parse transient p=4
+  sum-views reserved p=4
+stages:
+  stage 0 root=sum-views reserved=true rp=4 rf=-1 parents=[] children=[]
+    frag 0 p=4 ops=read-pageviews,parse
+      boundary from=parse dep=many-to-many tag=""
+`,
+	"mlr": `placements:
+  read-training-data transient p=4
+  create-1st-model reserved p=1
+  compute-gradient-1 transient p=4
+  aggregate-gradients-1 reserved p=1
+  compute-model-2 reserved p=1
+  compute-gradient-2 transient p=4
+  aggregate-gradients-2 reserved p=1
+  compute-model-3 reserved p=1
+stages:
+  stage 0 root=create-1st-model reserved=true rp=1 rf=-1 parents=[] children=[1 2]
+  stage 1 root=aggregate-gradients-1 reserved=true rp=1 rf=-1 parents=[0] children=[2]
+    frag 0 p=4 ops=read-training-data,compute-gradient-1
+      boundary from=compute-gradient-1 dep=many-to-one tag=""
+    input to=compute-gradient-1 fromStage=0 fromVertex=create-1st-model dep=one-to-many tag="model-1" cached=true
+  stage 2 root=compute-model-2 reserved=true rp=1 rf=-1 parents=[0 1] children=[3 4]
+    input to=compute-model-2 fromStage=1 fromVertex=aggregate-gradients-1 dep=one-to-one tag="" cached=false
+    input to=compute-model-2 fromStage=0 fromVertex=create-1st-model dep=one-to-one tag="in1" cached=false
+  stage 3 root=aggregate-gradients-2 reserved=true rp=1 rf=-1 parents=[2] children=[4]
+    frag 0 p=4 ops=read-training-data,compute-gradient-2
+      boundary from=compute-gradient-2 dep=many-to-one tag=""
+    input to=compute-gradient-2 fromStage=2 fromVertex=compute-model-2 dep=one-to-many tag="model-2" cached=true
+  stage 4 root=compute-model-3 reserved=true rp=1 rf=-1 parents=[2 3] children=[]
+    input to=compute-model-3 fromStage=3 fromVertex=aggregate-gradients-2 dep=one-to-one tag="" cached=false
+    input to=compute-model-3 fromStage=2 fromVertex=compute-model-2 dep=one-to-one tag="in1" cached=false
+`,
+	"als": `placements:
+  read-ratings transient p=4
+  key-by-user transient p=4
+  aggregate-user-data reserved p=4
+  key-by-item transient p=4
+  aggregate-item-data reserved p=4
+  compute-1st-item-factor reserved p=4
+  compute-user-factor-1 transient p=4
+  aggregate-user-factor-1 reserved p=4
+  compute-item-factor-2 transient p=4
+  aggregate-item-factor-2 reserved p=4
+  compute-user-factor-2 transient p=4
+  aggregate-user-factor-2 reserved p=4
+  compute-item-factor-3 transient p=4
+  aggregate-item-factor-3 reserved p=4
+stages:
+  stage 0 root=aggregate-user-data reserved=true rp=4 rf=-1 parents=[] children=[3 5]
+    frag 0 p=4 ops=read-ratings,key-by-user
+      boundary from=key-by-user dep=many-to-many tag=""
+  stage 1 root=aggregate-item-data reserved=true rp=4 rf=-1 parents=[] children=[2 4 6]
+    frag 0 p=4 ops=read-ratings,key-by-item
+      boundary from=key-by-item dep=many-to-many tag=""
+  stage 2 root=compute-1st-item-factor reserved=true rp=4 rf=-1 parents=[1] children=[3]
+    input to=compute-1st-item-factor fromStage=1 fromVertex=aggregate-item-data dep=one-to-one tag="" cached=false
+  stage 3 root=aggregate-user-factor-1 reserved=true rp=4 rf=-1 parents=[0 2] children=[4]
+    frag 0 p=4 ops=compute-user-factor-1
+      boundary from=compute-user-factor-1 dep=many-to-many tag=""
+    input to=compute-user-factor-1 fromStage=0 fromVertex=aggregate-user-data dep=one-to-one tag="" cached=true
+    input to=compute-user-factor-1 fromStage=2 fromVertex=compute-1st-item-factor dep=one-to-many tag="item-factors-1" cached=true
+  stage 4 root=aggregate-item-factor-2 reserved=true rp=4 rf=-1 parents=[1 3] children=[5]
+    frag 0 p=4 ops=compute-item-factor-2
+      boundary from=compute-item-factor-2 dep=many-to-many tag=""
+    input to=compute-item-factor-2 fromStage=1 fromVertex=aggregate-item-data dep=one-to-one tag="" cached=true
+    input to=compute-item-factor-2 fromStage=3 fromVertex=aggregate-user-factor-1 dep=one-to-many tag="user-factors-1" cached=true
+  stage 5 root=aggregate-user-factor-2 reserved=true rp=4 rf=-1 parents=[0 4] children=[6]
+    frag 0 p=4 ops=compute-user-factor-2
+      boundary from=compute-user-factor-2 dep=many-to-many tag=""
+    input to=compute-user-factor-2 fromStage=0 fromVertex=aggregate-user-data dep=one-to-one tag="" cached=true
+    input to=compute-user-factor-2 fromStage=4 fromVertex=aggregate-item-factor-2 dep=one-to-many tag="item-factors-2" cached=true
+  stage 6 root=aggregate-item-factor-3 reserved=true rp=4 rf=-1 parents=[1 5] children=[]
+    frag 0 p=4 ops=compute-item-factor-3
+      boundary from=compute-item-factor-3 dep=many-to-many tag=""
+    input to=compute-item-factor-3 fromStage=1 fromVertex=aggregate-item-data dep=one-to-one tag="" cached=true
+    input to=compute-item-factor-3 fromStage=5 fromVertex=aggregate-user-factor-2 dep=one-to-many tag="user-factors-2" cached=true
+`,
+}
+
+// TestGoldenPlans pins the default compiler output: with no policy
+// configured, Compile must reproduce the pre-refactor plan structure for
+// MR, MLR, and ALS byte-for-byte.
+func TestGoldenPlans(t *testing.T) {
+	for w, want := range goldenPlans {
+		plan, err := Compile(goldenGraph(w), PlanConfig{ReduceParallelism: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if got := planSignature(plan); got != want {
+			t.Errorf("%s: plan signature drifted from golden.\ngot:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}

@@ -37,19 +37,24 @@ func (s *Stage) HasReservedRoot(g *dag.Graph) bool {
 	return g.Vertex(s.Root).Placement == dag.PlaceReserved
 }
 
-// PartitionStages runs Algorithm 2 over a placed DAG: traverse vertices in
-// topological order; every reserved operator — and every operator without
-// outgoing edges — opens a new stage, into which its transient parents are
-// added recursively. A parent placed on reserved containers instead links
-// its own stage as a parent of the current one.
-func PartitionStages(g *dag.Graph) ([]*Stage, error) {
+// PartitionStages runs Algorithm 2 over the DAG under the given placement
+// assignment: traverse vertices in topological order; every reserved
+// operator — and every operator without outgoing edges — opens a new
+// stage, into which its transient parents are added recursively. A parent
+// placed on reserved containers instead links its own stage as a parent of
+// the current one.
+//
+// The assignment is an explicit input — partitioning never reads or
+// mutates placement state on the graph itself. Callers that hand-annotate
+// graphs can snapshot them with PlacementsFromGraph.
+func PartitionStages(g *dag.Graph, pl Placements) ([]*Stage, error) {
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
 	}
 	for _, id := range order {
-		if g.Vertex(id).Placement == dag.PlaceNone {
-			return nil, fmt.Errorf("core: vertex %q is unplaced; run Place first", g.Vertex(id).Name)
+		if pl.Of(id) == dag.PlaceNone {
+			return nil, fmt.Errorf("core: vertex %q is unplaced; run a placement policy first", g.Vertex(id).Name)
 		}
 	}
 
@@ -57,14 +62,13 @@ func PartitionStages(g *dag.Graph) ([]*Stage, error) {
 	var stages []*Stage
 
 	for _, id := range order {
-		v := g.Vertex(id)
-		isRoot := v.Placement == dag.PlaceReserved || len(g.OutEdges(id)) == 0
+		isRoot := pl.Reserved(id) || len(g.OutEdges(id)) == 0
 		if !isRoot {
 			continue
 		}
 		st := &Stage{ID: len(stages), Root: id}
 		stages = append(stages, st)
-		if v.Placement == dag.PlaceReserved {
+		if pl.Reserved(id) {
 			stageOf[id] = st
 		}
 		inStage := make(map[dag.VertexID]bool)
@@ -77,7 +81,7 @@ func PartitionStages(g *dag.Graph) ([]*Stage, error) {
 			inStage[op] = true
 			for _, p := range g.Parents(op) {
 				pv := g.Vertex(p)
-				if pv.Placement == dag.PlaceTransient {
+				if pl.Of(p) == dag.PlaceTransient {
 					add(p)
 				} else {
 					ps, ok := stageOf[p]
@@ -108,21 +112,39 @@ func PartitionStages(g *dag.Graph) ([]*Stage, error) {
 	return stages, nil
 }
 
-// Compile runs the full pipeline: placement, parallelism resolution, stage
-// partitioning, and physical planning.
+// Compile runs the full pipeline: validation, parallelism resolution,
+// policy-driven placement (cfg.Policy, defaulting to PaperRule), a
+// placement validity check, stage partitioning, and physical planning.
+//
+// Parallelism is resolved before placement (it is placement-independent)
+// so capacity-aware policies can use task counts as a work proxy. The
+// final assignment is annotated back onto the graph for DOT rendering and
+// plan printing, but partitioning and planning consume it as an explicit
+// value.
 func Compile(g *dag.Graph, cfg PlanConfig) (*Plan, error) {
 	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	if err := Place(g); err != nil {
 		return nil, err
 	}
 	if err := ResolveParallelism(g, cfg); err != nil {
 		return nil, err
 	}
-	stages, err := PartitionStages(g)
+	pol := cfg.policy()
+	pl, err := pol.Place(g, cfg.Env)
+	if err != nil {
+		return nil, fmt.Errorf("core: policy %q: %w", pol.Name(), err)
+	}
+	if err := CheckPlacements(g, pl); err != nil {
+		return nil, fmt.Errorf("core: policy %q produced an illegal assignment: %w", pol.Name(), err)
+	}
+	pl.Apply(g)
+	stages, err := PartitionStages(g, pl)
 	if err != nil {
 		return nil, err
 	}
-	return BuildPlan(g, stages, cfg)
+	plan, err := BuildPlan(g, pl, stages, cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan.Policy = pol.Name()
+	return plan, nil
 }

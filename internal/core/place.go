@@ -1,6 +1,7 @@
 // Package core implements the Pado Compiler, the paper's primary
-// contribution (§3.1): operator placement (Algorithm 1), partitioning of
-// the logical DAG into Pado stages (Algorithm 2), and generation of the
+// contribution (§3.1): operator placement as a pluggable policy layer
+// (Algorithm 1 is the default PaperRule policy), partitioning of the
+// logical DAG into Pado stages (Algorithm 2), and generation of the
 // physical execution plan with same-placement operator fusion (§3.2.2).
 package core
 
@@ -11,51 +12,16 @@ import (
 	"pado/internal/dataflow"
 )
 
-// Place runs Algorithm 1 over the logical DAG, marking every vertex with
-// PlaceTransient or PlaceReserved in topological order:
-//
-//   - computational operators with ANY many-to-many or many-to-one input
-//     dependency run on reserved containers (their eviction would force
-//     recomputation of many parent tasks);
-//   - computational operators whose inputs are ALL one-to-one AND ALL come
-//     from reserved operators run on reserved containers (data locality);
-//   - every other computational operator runs on transient containers;
-//   - source operators that read external storage (ISREAD) run on
-//     transient containers, sources that create data in memory
-//     (ISCREATED) on reserved containers.
+// Place runs Algorithm 1 (the PaperRule policy) over the logical DAG and
+// annotates every vertex with the resulting placement. It is a
+// compatibility wrapper kept for callers that hand-place graphs; Compile
+// goes through the PlacementPolicy interface instead.
 func Place(g *dag.Graph) error {
-	order, err := g.TopoSort()
+	pl, err := PaperRule{}.Place(g, PolicyEnv{})
 	if err != nil {
 		return err
 	}
-	for _, id := range order {
-		v := g.Vertex(id)
-		in := g.InEdges(id)
-		if len(in) == 0 {
-			switch v.Kind {
-			case dag.KindSourceRead:
-				v.Placement = dag.PlaceTransient
-			case dag.KindSourceCreate:
-				v.Placement = dag.PlaceReserved
-			default:
-				return fmt.Errorf("core: vertex %q has no inputs but kind %v", v.Name, v.Kind)
-			}
-			continue
-		}
-		if anyMatch(in, func(e dag.Edge) bool { return e.Dep.Wide() }) {
-			v.Placement = dag.PlaceReserved
-			continue
-		}
-		allOneToOne := allMatch(in, func(e dag.Edge) bool { return e.Dep == dag.OneToOne })
-		allFromReserved := allMatch(in, func(e dag.Edge) bool {
-			return g.Vertex(e.From).Placement == dag.PlaceReserved
-		})
-		if allOneToOne && allFromReserved {
-			v.Placement = dag.PlaceReserved
-		} else {
-			v.Placement = dag.PlaceTransient
-		}
-	}
+	pl.Apply(g)
 	return nil
 }
 

@@ -7,11 +7,25 @@ import (
 	"pado/internal/dag"
 )
 
-// PlanConfig parameterizes physical planning.
+// PlanConfig parameterizes the compiler pipeline.
 type PlanConfig struct {
 	// ReduceParallelism is the task count for many-to-many consumers
 	// (hash-shuffle receivers). Defaults to 8.
 	ReduceParallelism int
+	// Policy selects the placement policy. Nil means PaperRule, the
+	// paper's Algorithm 1.
+	Policy PlacementPolicy
+	// Env describes the cluster capacity visible to capacity-aware
+	// policies (reserved-slot budget, eviction rate). The zero value
+	// disables budgeting.
+	Env PolicyEnv
+}
+
+func (c PlanConfig) policy() PlacementPolicy {
+	if c.Policy == nil {
+		return PaperRule{}
+	}
+	return c.Policy
 }
 
 func (c PlanConfig) reduceParallelism() int {
@@ -111,6 +125,8 @@ func (s *PhysStage) InputsTo(op dag.VertexID) []StageInput {
 type Plan struct {
 	Graph  *dag.Graph
 	Stages []*PhysStage
+	// Policy is the name of the placement policy that produced the plan.
+	Policy string
 }
 
 // Stage returns the physical stage with the given id.
@@ -128,18 +144,20 @@ func (p *Plan) TerminalStages() []int {
 }
 
 // BuildPlan lowers the logical stages onto physical stages with fused
-// transient fragments, resolved boundaries, and cross-stage inputs.
-func BuildPlan(g *dag.Graph, stages []*Stage, cfg PlanConfig) (*Plan, error) {
+// transient fragments, resolved boundaries, and cross-stage inputs. The
+// placement assignment is the same explicit value the stages were
+// partitioned under.
+func BuildPlan(g *dag.Graph, pl Placements, stages []*Stage, cfg PlanConfig) (*Plan, error) {
 	rootStage := make(map[dag.VertexID]int) // reserved root vertex -> stage id
 	for _, st := range stages {
-		if g.Vertex(st.Root).Placement == dag.PlaceReserved {
+		if pl.Reserved(st.Root) {
 			rootStage[st.Root] = st.ID
 		}
 	}
 
 	plan := &Plan{Graph: g, Stages: make([]*PhysStage, len(stages))}
 	for _, st := range stages {
-		ps, err := buildPhysStage(g, st, rootStage)
+		ps, err := buildPhysStage(g, pl, st, rootStage)
 		if err != nil {
 			return nil, err
 		}
@@ -163,12 +181,12 @@ func BuildPlan(g *dag.Graph, stages []*Stage, cfg PlanConfig) (*Plan, error) {
 	return plan, nil
 }
 
-func buildPhysStage(g *dag.Graph, st *Stage, rootStage map[dag.VertexID]int) (*PhysStage, error) {
+func buildPhysStage(g *dag.Graph, pl Placements, st *Stage, rootStage map[dag.VertexID]int) (*PhysStage, error) {
 	root := g.Vertex(st.Root)
 	ps := &PhysStage{
 		ID:              st.ID,
 		Root:            st.Root,
-		RootReserved:    root.Placement == dag.PlaceReserved,
+		RootReserved:    pl.Reserved(st.Root),
 		RootParallelism: root.Parallelism,
 		RootFragment:    -1,
 	}
@@ -182,7 +200,7 @@ func buildPhysStage(g *dag.Graph, st *Stage, rootStage map[dag.VertexID]int) (*P
 	// components over intra-stage one-to-one edges.
 	var transient []dag.VertexID
 	for _, op := range st.Ops {
-		if g.Vertex(op).Placement == dag.PlaceTransient {
+		if pl.Of(op) == dag.PlaceTransient {
 			transient = append(transient, op)
 		}
 	}
@@ -195,12 +213,12 @@ func buildPhysStage(g *dag.Graph, st *Stage, rootStage map[dag.VertexID]int) (*P
 		}
 		comp[op] = c
 		for _, e := range g.InEdges(op) {
-			if e.Dep == dag.OneToOne && inStage[e.From] && g.Vertex(e.From).Placement == dag.PlaceTransient {
+			if e.Dep == dag.OneToOne && inStage[e.From] && pl.Of(e.From) == dag.PlaceTransient {
 				assign(e.From, c)
 			}
 		}
 		for _, e := range g.OutEdges(op) {
-			if e.Dep == dag.OneToOne && inStage[e.To] && g.Vertex(e.To).Placement == dag.PlaceTransient {
+			if e.Dep == dag.OneToOne && inStage[e.To] && pl.Of(e.To) == dag.PlaceTransient {
 				assign(e.To, c)
 			}
 		}
@@ -239,11 +257,11 @@ func buildPhysStage(g *dag.Graph, st *Stage, rootStage map[dag.VertexID]int) (*P
 		for _, e := range g.InEdges(op) {
 			from := g.Vertex(e.From)
 			switch {
-			case inStage[e.From] && from.Placement == dag.PlaceTransient && op == st.Root && ps.RootReserved:
+			case inStage[e.From] && pl.Of(e.From) == dag.PlaceTransient && op == st.Root && ps.RootReserved:
 				// Transient-to-reserved boundary: the push path.
 				f := frags[comp[e.From]]
 				f.Boundaries = append(f.Boundaries, BoundaryEdge{From: e.From, Dep: e.Dep, Tag: e.Tag})
-			case inStage[e.From] && from.Placement == dag.PlaceTransient:
+			case inStage[e.From] && pl.Of(e.From) == dag.PlaceTransient:
 				// Transient-to-transient: must be one-to-one (fused).
 				if e.Dep != dag.OneToOne {
 					return nil, fmt.Errorf("core: unsupported %v edge between transient operators %q and %q within a stage",

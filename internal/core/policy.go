@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pado/internal/dag"
+)
+
+// Placements is a placement assignment for every vertex of a graph,
+// indexed by dag.VertexID. It is the value passed between the placement
+// layer and the partitioning layer: policies produce one, and
+// PartitionStages/BuildPlan consume it instead of reading mutable state
+// off the graph.
+type Placements []dag.Placement
+
+// NewPlacements returns an all-PlaceNone assignment sized for g.
+func NewPlacements(g *dag.Graph) Placements {
+	return make(Placements, g.NumVertices())
+}
+
+// PlacementsFromGraph snapshots the placements currently annotated on g.
+func PlacementsFromGraph(g *dag.Graph) Placements {
+	pl := NewPlacements(g)
+	for id, v := range g.Vertices() {
+		pl[id] = v.Placement
+	}
+	return pl
+}
+
+// Of returns the placement of id, or PlaceNone when out of range.
+func (pl Placements) Of(id dag.VertexID) dag.Placement {
+	if int(id) < 0 || int(id) >= len(pl) {
+		return dag.PlaceNone
+	}
+	return pl[id]
+}
+
+// Reserved reports whether id is placed on reserved containers.
+func (pl Placements) Reserved(id dag.VertexID) bool { return pl.Of(id) == dag.PlaceReserved }
+
+// Apply annotates g's vertices with the assignment, for DOT rendering and
+// plan printing. Policies themselves never mutate the graph; Compile calls
+// Apply once the assignment is final.
+func (pl Placements) Apply(g *dag.Graph) {
+	for id, v := range g.Vertices() {
+		if id < len(pl) {
+			v.Placement = pl[id]
+		}
+	}
+}
+
+// PolicyEnv describes the cluster capacity visible to a placement policy.
+// The zero value means "capacity unknown": no reserved-slot budget is
+// enforced and the eviction rate is treated as zero.
+type PolicyEnv struct {
+	// ReservedSlotBudget is the total number of reserved task slots in
+	// the cell (reserved nodes × slots per node). 0 disables budgeting.
+	ReservedSlotBudget int
+	// TransientSlots is the total number of transient task slots.
+	TransientSlots int
+	// EvictionsPerMinute is the expected cell-wide transient-container
+	// eviction rate, in evictions per paper-minute.
+	EvictionsPerMinute float64
+}
+
+// PlacementPolicy decides, for every operator of a logical DAG, whether it
+// runs on transient or reserved containers. Implementations must be
+// stateless and deterministic: the same graph and env always yield the
+// same assignment. The returned assignment must be legal per
+// CheckPlacements — use Legalize for the mandatory rules.
+//
+// Policies run after ResolveParallelism, so v.Parallelism is available as
+// a work proxy.
+type PlacementPolicy interface {
+	// Name identifies the policy in flags, reports, and event streams.
+	Name() string
+	// Place computes a placement assignment without mutating g.
+	Place(g *dag.Graph, env PolicyEnv) (Placements, error)
+}
+
+var (
+	policyMu       sync.RWMutex
+	policyRegistry = map[string]PlacementPolicy{}
+)
+
+// RegisterPolicy adds a policy to the global registry, keyed by Name().
+// It panics on duplicate names (registration is an init-time concern).
+func RegisterPolicy(p PlacementPolicy) {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	name := p.Name()
+	if _, dup := policyRegistry[name]; dup {
+		panic(fmt.Sprintf("core: placement policy %q registered twice", name))
+	}
+	policyRegistry[name] = p
+}
+
+// PolicyByName resolves a registered policy. The empty string resolves to
+// the default PaperRule.
+func PolicyByName(name string) (PlacementPolicy, error) {
+	if name == "" {
+		return PaperRule{}, nil
+	}
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	p, ok := policyRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown placement policy %q (have %v)", name, policyNamesLocked())
+	}
+	return p, nil
+}
+
+// PolicyNames lists the registered policy names, ascending.
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	return policyNamesLocked()
+}
+
+func policyNamesLocked() []string {
+	names := make([]string, 0, len(policyRegistry))
+	for n := range policyRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterPolicy(PaperRule{})
+	RegisterPolicy(AllTransient{})
+	RegisterPolicy(AllReserved{})
+	RegisterPolicy(CostModel{})
+}
+
+// PaperRule is Algorithm 1 from the paper (§3.1.1), the default policy:
+//
+//   - computational operators with ANY many-to-many or many-to-one input
+//     dependency run on reserved containers (their eviction would force
+//     recomputation of many parent tasks);
+//   - computational operators whose inputs are ALL one-to-one AND ALL come
+//     from reserved operators run on reserved containers (data locality);
+//   - every other computational operator runs on transient containers;
+//   - source operators that read external storage (ISREAD) run on
+//     transient containers, sources that create data in memory
+//     (ISCREATED) on reserved containers.
+type PaperRule struct{}
+
+// Name implements PlacementPolicy.
+func (PaperRule) Name() string { return "paper" }
+
+// Place implements PlacementPolicy. It ignores env: the paper rule is
+// capacity-oblivious.
+func (PaperRule) Place(g *dag.Graph, _ PolicyEnv) (Placements, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	pl := NewPlacements(g)
+	for _, id := range order {
+		v := g.Vertex(id)
+		in := g.InEdges(id)
+		if len(in) == 0 {
+			switch v.Kind {
+			case dag.KindSourceRead:
+				pl[id] = dag.PlaceTransient
+			case dag.KindSourceCreate:
+				pl[id] = dag.PlaceReserved
+			default:
+				return nil, fmt.Errorf("core: vertex %q has no inputs but kind %v", v.Name, v.Kind)
+			}
+			continue
+		}
+		if anyMatch(in, func(e dag.Edge) bool { return e.Dep.Wide() }) {
+			pl[id] = dag.PlaceReserved
+			continue
+		}
+		allOneToOne := allMatch(in, func(e dag.Edge) bool { return e.Dep == dag.OneToOne })
+		allFromReserved := allMatch(in, func(e dag.Edge) bool {
+			return pl.Reserved(e.From)
+		})
+		if allOneToOne && allFromReserved {
+			pl[id] = dag.PlaceReserved
+		} else {
+			pl[id] = dag.PlaceTransient
+		}
+	}
+	return pl, nil
+}
+
+// AllTransient is a degenerate baseline: every operator on transient
+// containers wherever the runtime permits it. Legalize still promotes the
+// operators that cannot run transient (created sources, wide-dependency
+// consumers, broadcast producers feeding transient consumers), so the
+// resulting plan is always executable — this is the "maximally transient"
+// legal placement, not a literal all-transient one.
+type AllTransient struct{}
+
+// Name implements PlacementPolicy.
+func (AllTransient) Name() string { return "all-transient" }
+
+// Place implements PlacementPolicy.
+func (AllTransient) Place(g *dag.Graph, _ PolicyEnv) (Placements, error) {
+	pl := NewPlacements(g)
+	for id := range pl {
+		pl[id] = dag.PlaceTransient
+	}
+	return Legalize(g, pl)
+}
+
+// AllReserved is a degenerate baseline: every operator on reserved
+// containers, except read sources, which the runtime can only execute on
+// transient containers (reserved roots fetch or receive data; they do not
+// read external storage).
+type AllReserved struct{}
+
+// Name implements PlacementPolicy.
+func (AllReserved) Name() string { return "all-reserved" }
+
+// Place implements PlacementPolicy.
+func (AllReserved) Place(g *dag.Graph, _ PolicyEnv) (Placements, error) {
+	pl := NewPlacements(g)
+	for id := range pl {
+		pl[id] = dag.PlaceReserved
+	}
+	return Legalize(g, pl)
+}
+
+// Legalize rewrites an assignment so it satisfies the runtime's placement
+// constraints, promoting vertices to reserved (never demoting) where the
+// plan would otherwise not partition into legal Pado stages:
+//
+//  1. read sources must be transient (reserved roots cannot execute
+//     ReadOps) and created sources must be reserved (their data must
+//     survive evictions);
+//  2. any consumer of a many-to-one or many-to-many edge must be reserved
+//     (transient fragments only support one-to-one and one-to-many
+//     cross-stage inputs, and wide transient-to-transient edges cannot be
+//     fused);
+//  3. a one-to-many (broadcast) edge between two transient operators
+//     cannot be fused either, so the producer is promoted to reserved —
+//     or, when the producer is a read source, the consumer is.
+//
+// A single topological pass suffices: promoting a vertex to reserved never
+// creates a new violation (reserved vertices accept every dependency type
+// as stage inputs, and rule 2 already reserved every wide consumer).
+func Legalize(g *dag.Graph, pl Placements) (Placements, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		v := g.Vertex(id)
+		in := g.InEdges(id)
+		if len(in) == 0 {
+			if v.Kind == dag.KindSourceRead {
+				pl[id] = dag.PlaceTransient
+			} else {
+				pl[id] = dag.PlaceReserved
+			}
+			continue
+		}
+		if anyMatch(in, func(e dag.Edge) bool { return e.Dep.Wide() }) {
+			pl[id] = dag.PlaceReserved
+			continue
+		}
+		if pl[id] == dag.PlaceNone {
+			pl[id] = dag.PlaceTransient
+		}
+	}
+	// Rule 3. Topological order guarantees that by the time id is visited
+	// as a producer, every promotion affecting id has already happened
+	// (consumers are only promoted from their producer's visit, which
+	// precedes them).
+	for _, id := range order {
+		for _, e := range g.OutEdges(id) {
+			if e.Dep != dag.OneToMany {
+				continue
+			}
+			if pl.Of(id) != dag.PlaceTransient || pl.Of(e.To) != dag.PlaceTransient {
+				continue
+			}
+			if g.Vertex(id).Kind == dag.KindSourceRead {
+				pl[e.To] = dag.PlaceReserved
+			} else {
+				pl[id] = dag.PlaceReserved
+			}
+		}
+	}
+	return pl, nil
+}
+
+// CheckPlacements verifies that an assignment satisfies the runtime's
+// placement constraints (the same rules Legalize enforces). Compile runs
+// it after every policy so a buggy policy fails with a placement error
+// rather than a downstream partitioning panic.
+func CheckPlacements(g *dag.Graph, pl Placements) error {
+	for id, v := range g.Vertices() {
+		vid := dag.VertexID(id)
+		switch pl.Of(vid) {
+		case dag.PlaceTransient, dag.PlaceReserved:
+		default:
+			return fmt.Errorf("core: vertex %q is unplaced", v.Name)
+		}
+		if len(g.InEdges(vid)) == 0 {
+			if v.Kind == dag.KindSourceRead && pl.Of(vid) != dag.PlaceTransient {
+				return fmt.Errorf("core: read source %q must be placed transient", v.Name)
+			}
+			if v.Kind == dag.KindSourceCreate && pl.Of(vid) != dag.PlaceReserved {
+				return fmt.Errorf("core: created source %q must be placed reserved", v.Name)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Dep.Wide() && pl.Of(e.To) != dag.PlaceReserved {
+			return fmt.Errorf("core: operator %q consumes a %v dependency and must be placed reserved",
+				g.Vertex(e.To).Name, e.Dep)
+		}
+		if e.Dep == dag.OneToMany &&
+			pl.Of(e.From) == dag.PlaceTransient && pl.Of(e.To) == dag.PlaceTransient {
+			return fmt.Errorf("core: broadcast edge %q -> %q cannot connect two transient operators",
+				g.Vertex(e.From).Name, g.Vertex(e.To).Name)
+		}
+	}
+	return nil
+}

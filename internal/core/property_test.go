@@ -113,7 +113,7 @@ func TestPartitioningInvariants(t *testing.T) {
 		if err := Place(g); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		stages, err := PartitionStages(g)
+		stages, err := PartitionStages(g, PlacementsFromGraph(g))
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -142,6 +142,202 @@ func TestPartitioningInvariants(t *testing.T) {
 		for _, v := range g.Vertices() {
 			if !covered[v.ID] {
 				t.Fatalf("trial %d: vertex %q in no stage", trial, v.Name)
+			}
+		}
+	}
+}
+
+// TestPolicyInvariants runs the placement, partitioning, and plan
+// invariant suites over every registered policy on random pipelines:
+// whatever the policy decides, the assignment must pass CheckPlacements
+// and the resulting stages and plan must satisfy the same structural
+// postconditions Algorithm 2 guarantees for the paper rule.
+func TestPolicyInvariants(t *testing.T) {
+	env := PolicyEnv{ReservedSlotBudget: 8, TransientSlots: 24, EvictionsPerMinute: 0.5}
+	cfg := PlanConfig{ReduceParallelism: 3}
+	for _, name := range PolicyNames() {
+		t.Run(name, func(t *testing.T) {
+			pol, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(20170423))
+			trials := 0
+			for trials < 150 {
+				g := randomPipeline(rng).Graph()
+				if err := g.Validate(); err != nil {
+					t.Fatalf("invalid pipeline: %v", err)
+				}
+				if err := ResolveParallelism(g, cfg); err != nil {
+					// Some random DAGs are legitimately rejected (e.g.
+					// mismatched one-to-one parallelism); skip those.
+					continue
+				}
+				pl, err := pol.Place(g, env)
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if err := CheckPlacements(g, pl); err != nil {
+					// The raw paper rule legitimately rejects some random
+					// DAGs (e.g. a broadcast side input fed by a transient
+					// source); Compile surfaces that as a placement error.
+					// Legalizing policies must never produce one.
+					if name == (PaperRule{}).Name() {
+						continue
+					}
+					t.Fatalf("illegal assignment: %v", err)
+				}
+				trials++
+				stages, err := PartitionStages(g, pl)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trials, err)
+				}
+				covered := map[dag.VertexID]bool{}
+				for _, s := range stages {
+					if !pl.Reserved(s.Root) && len(g.OutEdges(s.Root)) != 0 {
+						t.Fatalf("trial %d: stage %d root %q neither reserved nor sink",
+							trials, s.ID, g.Vertex(s.Root).Name)
+					}
+					if s.Ops[len(s.Ops)-1] != s.Root {
+						t.Fatalf("trial %d: stage %d root not last in Ops", trials, s.ID)
+					}
+					for _, op := range s.Ops {
+						covered[op] = true
+						if op != s.Root && pl.Of(op) != dag.PlaceTransient {
+							t.Fatalf("trial %d: stage %d contains non-root reserved op %q",
+								trials, s.ID, g.Vertex(op).Name)
+						}
+					}
+					for _, pid := range s.Parents {
+						if pid >= s.ID {
+							t.Fatalf("trial %d: stage %d has parent %d", trials, s.ID, pid)
+						}
+					}
+				}
+				for _, v := range g.Vertices() {
+					if !covered[v.ID] {
+						t.Fatalf("trial %d: vertex %q in no stage", trials, v.Name)
+					}
+				}
+				plan, err := BuildPlan(g, pl, stages, cfg)
+				if err != nil {
+					t.Fatalf("trial %d: a checked assignment must plan: %v", trials, err)
+				}
+				for _, ps := range plan.Stages {
+					for _, f := range ps.Fragments {
+						if f.Parallelism <= 0 {
+							t.Fatalf("trial %d: fragment with parallelism %d", trials, f.Parallelism)
+						}
+						for _, b := range f.Boundaries {
+							if !f.Contains(b.From) {
+								t.Fatalf("trial %d: boundary source outside fragment", trials)
+							}
+						}
+					}
+					for _, si := range ps.Inputs {
+						if si.FromStage >= ps.ID {
+							t.Fatalf("trial %d: stage %d input from non-ancestor %d", trials, ps.ID, si.FromStage)
+						}
+						if !plan.Stages[si.FromStage].RootReserved {
+							t.Fatalf("trial %d: cross-stage input from a non-reserved root", trials)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCostModelRespectsBudget checks that on random pipelines the cost
+// model never reserves more slots than the mandatory legal minimum plus
+// its configured budget.
+func TestCostModelRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := PlanConfig{ReduceParallelism: 3}
+	for trial := 0; trial < 150; trial++ {
+		g := randomPipeline(rng).Graph()
+		if err := ResolveParallelism(g, cfg); err != nil {
+			continue
+		}
+		// The mandatory reserved set is what the maximally transient legal
+		// assignment reserves.
+		base, err := AllTransient{}.Place(g, PolicyEnv{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mandatory := 0
+		for _, v := range g.Vertices() {
+			if base.Reserved(v.ID) {
+				mandatory += slotsOf(g, v.ID)
+			}
+		}
+		env := PolicyEnv{ReservedSlotBudget: mandatory + 3, EvictionsPerMinute: 2.0}
+		pl, err := CostModel{}.Place(g, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spent := 0
+		for _, v := range g.Vertices() {
+			if pl.Reserved(v.ID) {
+				spent += slotsOf(g, v.ID)
+			}
+		}
+		if spent > env.ReservedSlotBudget {
+			t.Fatalf("trial %d: cost model spent %d reserved slots over budget %d (mandatory %d)",
+				trial, spent, env.ReservedSlotBudget, mandatory)
+		}
+	}
+}
+
+// TestPaperRuleFigure3Golden asserts the PaperRule policy reproduces the
+// paper's Figure 3(a)-(c) placements for MR, MLR, and ALS exactly — every
+// vertex, not a subset.
+func TestPaperRuleFigure3Golden(t *testing.T) {
+	golden := map[string]map[string]dag.Placement{
+		"mr": {
+			"read-pageviews": dag.PlaceTransient,
+			"parse":          dag.PlaceTransient,
+			"sum-views":      dag.PlaceReserved,
+		},
+		"mlr": {
+			"create-1st-model":      dag.PlaceReserved,
+			"read-training-data":    dag.PlaceTransient,
+			"compute-gradient-1":    dag.PlaceTransient,
+			"aggregate-gradients-1": dag.PlaceReserved,
+			"compute-model-2":       dag.PlaceReserved,
+			"compute-gradient-2":    dag.PlaceTransient,
+			"aggregate-gradients-2": dag.PlaceReserved,
+			"compute-model-3":       dag.PlaceReserved,
+		},
+		"als": {
+			"read-ratings":            dag.PlaceTransient,
+			"key-by-user":             dag.PlaceTransient,
+			"key-by-item":             dag.PlaceTransient,
+			"aggregate-user-data":     dag.PlaceReserved,
+			"aggregate-item-data":     dag.PlaceReserved,
+			"compute-1st-item-factor": dag.PlaceReserved,
+			"compute-user-factor-1":   dag.PlaceTransient,
+			"aggregate-user-factor-1": dag.PlaceReserved,
+			"compute-item-factor-2":   dag.PlaceTransient,
+			"aggregate-item-factor-2": dag.PlaceReserved,
+			"compute-user-factor-2":   dag.PlaceTransient,
+			"aggregate-user-factor-2": dag.PlaceReserved,
+			"compute-item-factor-3":   dag.PlaceTransient,
+			"aggregate-item-factor-3": dag.PlaceReserved,
+		},
+	}
+	for w, want := range golden {
+		g := goldenGraph(w)
+		pl, err := PaperRule{}.Place(g, PolicyEnv{})
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if g.NumVertices() != len(want) {
+			t.Fatalf("%s: golden map covers %d vertices, graph has %d", w, len(want), g.NumVertices())
+		}
+		for _, v := range g.Vertices() {
+			if got := pl.Of(v.ID); got != want[v.Name] {
+				t.Errorf("%s: %q placed %v, want %v", w, v.Name, got, want[v.Name])
 			}
 		}
 	}

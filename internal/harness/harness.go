@@ -20,6 +20,7 @@ import (
 
 	"pado/internal/chaos"
 	"pado/internal/cluster"
+	"pado/internal/core"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
 	"pado/internal/metrics"
@@ -99,6 +100,11 @@ type Params struct {
 	// default; tests use smaller).
 	Size float64
 
+	// Policy names the placement policy for the Pado engine (see
+	// core.PolicyNames). Empty means the default paper rule. The Spark
+	// baselines have no placement layer and ignore it.
+	Policy string
+
 	Seed int64
 
 	// Repeats averages the experiment over several seeds (the paper
@@ -173,10 +179,23 @@ func (o Outcome) String() string {
 	if o.TimedOut {
 		jct = fmt.Sprintf(">%.0f", o.JCTMinutes)
 	}
-	return fmt.Sprintf("%-17s %-4s %-7s %2dT+%dR jct=%6s min relaunched=%5.0f%% evictions=%d",
-		o.Params.Engine, o.Params.Workload, o.Params.Rate,
+	return fmt.Sprintf("%-17s %-4s %-7s %-13s %2dT+%dR jct=%6s min relaunched=%5.0f%% evictions=%d",
+		o.Params.Engine, o.Params.Workload, o.Params.Rate, o.Params.policyLabel(),
 		o.Params.Transient, o.Params.Reserved, jct,
 		o.Metrics.RelaunchRatio()*100, o.Metrics.Evictions)
+}
+
+// policyLabel is the placement policy for display: the Pado engine's
+// configured policy (defaulting to the paper rule), "-" for engines
+// without a placement layer.
+func (p Params) policyLabel() string {
+	if p.Engine != EnginePado {
+		return "-"
+	}
+	if p.Policy == "" {
+		return core.PaperRule{}.Name()
+	}
+	return p.Policy
 }
 
 // Cluster bandwidths in simulator bytes/second, calibrated so the data
@@ -227,8 +246,8 @@ func (p Params) pipeline() *dataflow.Pipeline {
 	}
 }
 
-func (p Params) newCluster() (*cluster.Cluster, error) {
-	return cluster.New(cluster.Config{
+func (p Params) clusterConfig() cluster.Config {
+	return cluster.Config{
 		Transient:        p.Transient,
 		Reserved:         p.Reserved,
 		Slots:            4,
@@ -241,7 +260,11 @@ func (p Params) newCluster() (*cluster.Cluster, error) {
 		Scale:            p.Scale,
 		MinLifetime:      p.Scale.Wall(0.5),
 		Seed:             p.Seed,
-	})
+	}
+}
+
+func (p Params) newCluster() (*cluster.Cluster, error) {
+	return cluster.New(p.clusterConfig())
 }
 
 // Run executes one experiment, averaging over p.Repeats seeds.
@@ -312,6 +335,12 @@ func runOnce(p Params) (Outcome, error) {
 		// Pado concentrates reduce tasks on the reserved containers,
 		// so its reduce parallelism tracks the reserved pool.
 		cfg.Plan.ReduceParallelism = 2 * p.Reserved
+		pol, err := core.PolicyByName(p.Policy)
+		if err != nil {
+			return Outcome{}, err
+		}
+		cfg.Plan.Policy = pol
+		cfg.Plan.Env = p.clusterConfig().PlacementEnv()
 		// The partial-aggregation escape delay is a paper-time knob
 		// (§3.2.7); pin it to 0.1 paper minutes at the current scale.
 		cfg.AggMaxDelay = p.Scale.Wall(0.1)
@@ -383,7 +412,7 @@ func writeReport(p Params, tracer *obs.Tracer, stageParents map[int][]int, snap 
 	if err := os.MkdirAll(p.ReportDir, 0o755); err != nil {
 		return "", err
 	}
-	rep := analyze.Analyze(tracer.Events(), analyze.Options{
+	opts := analyze.Options{
 		StageParents: stageParents,
 		Scale:        analyze.ScaleInfo{WallPerMinute: p.Scale.WallPerMinute},
 		JCT:          snap.JCT,
@@ -393,14 +422,25 @@ func writeReport(p Params, tracer *obs.Tracer, stageParents map[int][]int, snap 
 		Rate:         p.Rate.String(),
 		Seed:         p.Seed,
 		Snapshot:     &snap,
-	})
+	}
+	if p.Engine == EnginePado {
+		opts.Policy = p.policyLabel()
+	}
+	rep := analyze.Analyze(tracer.Events(), opts)
 	path := filepath.Join(p.ReportDir, exportBase(p)+".report.json")
 	return path, rep.Save(path)
 }
 
-// exportBase names one run's export files by its experiment cell.
+// exportBase names one run's export files by its experiment cell. A
+// non-default placement policy joins the name so policy sweeps over the
+// same cell do not collide; the default policy keeps the historical
+// four-part name (committed baselines and CI artifacts depend on it).
 func exportBase(p Params) string {
-	return strings.ToLower(fmt.Sprintf("%s-%s-%s-seed%d", p.Engine, p.Workload, p.Rate, p.Seed))
+	base := strings.ToLower(fmt.Sprintf("%s-%s-%s-seed%d", p.Engine, p.Workload, p.Rate, p.Seed))
+	if p.Engine == EnginePado && p.Policy != "" && p.Policy != (core.PaperRule{}).Name() {
+		base += "-" + p.Policy
+	}
+	return base
 }
 
 // writeTraces exports one run's event stream as a Chrome trace and a text

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"pado/internal/core"
+	"pado/internal/dag"
 	"pado/internal/obs/analyze"
 	"pado/internal/runtime"
 	"pado/internal/trace"
@@ -175,6 +178,145 @@ func TestReportDirWritesReport(t *testing.T) {
 	// report's counters section must agree with the run's snapshot.
 	if rep.Containers.Evicted != int(out.Metrics.Evictions) {
 		t.Errorf("report saw %d evictions, snapshot %d", rep.Containers.Evicted, out.Metrics.Evictions)
+	}
+}
+
+// TestCostModelBeatsAllTransient pins a high-eviction cell and checks the
+// cost-model policy's promises against the all-transient baseline:
+//
+//  1. Structurally, its reserved set is a superset of the baseline's, so
+//     every recomputation the baseline avoids, the cost model avoids too
+//     (its expected JCT can only be lower or equal).
+//  2. End to end, it completes no later than the baseline up to the
+//     wall-clock scheduling noise of the simulator (the tiny cell's JCT
+//     varies about +/-25% run to run, so the assertion carries a noise
+//     allowance rather than a strict <=).
+//  3. It never uses more reserved slots than the cluster's budget,
+//     observable via the reserved_slots_peak / reserved_slots_budget
+//     counters the master publishes.
+func TestCostModelBeatsAllTransient(t *testing.T) {
+	pinned := func() Params {
+		p := tinyParams()
+		p.Engine = EnginePado
+		p.Workload = WorkloadMR
+		p.Rate = trace.RateHigh
+		p.Repeats = 5
+		return p
+	}
+
+	// Structural dominance, deterministic: compile both placements for
+	// the pinned cell and require cost's reserved set to contain the
+	// baseline's.
+	p := pinned()
+	reservedSet := func(policy string) map[string]bool {
+		pol, err := core.PolicyByName(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := core.Compile(p.pipeline().Graph(), core.PlanConfig{
+			ReduceParallelism: 2 * p.Reserved,
+			Policy:            pol,
+			Env:               p.clusterConfig().PlacementEnv(),
+		})
+		if err != nil {
+			t.Fatalf("compile %q: %v", policy, err)
+		}
+		set := make(map[string]bool)
+		order, _ := plan.Graph.TopoSort()
+		for _, id := range order {
+			if v := plan.Graph.Vertex(id); v.Placement == dag.PlaceReserved {
+				set[v.Name] = true
+			}
+		}
+		return set
+	}
+	costSet, allTSet := reservedSet("cost"), reservedSet("all-transient")
+	for name := range allTSet {
+		if !costSet[name] {
+			t.Errorf("all-transient reserves %q but cost does not; cost must dominate the baseline's reserved set", name)
+		}
+	}
+
+	run := func(policy string) Outcome {
+		p := pinned()
+		p.Policy = policy
+		out, err := Run(p)
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		if out.TimedOut {
+			t.Fatalf("policy %q timed out", policy)
+		}
+		return out
+	}
+	cost := run("cost")
+	allT := run("all-transient")
+	if cost.JCTMinutes > allT.JCTMinutes*1.35 {
+		t.Errorf("cost policy jct = %.2f min, all-transient = %.2f min; cost model should not lose at a high eviction rate",
+			cost.JCTMinutes, allT.JCTMinutes)
+	}
+
+	budget := cost.Metrics.Named["reserved_slots_budget"]
+	peak := cost.Metrics.Named["reserved_slots_peak"]
+	if budget <= 0 {
+		t.Fatalf("reserved_slots_budget counter missing: %v", cost.Metrics.Named)
+	}
+	if peak <= 0 {
+		t.Errorf("reserved_slots_peak counter missing: %v", cost.Metrics.Named)
+	}
+	if peak > budget {
+		t.Errorf("reserved slot peak %d exceeds budget %d", peak, budget)
+	}
+}
+
+func TestOutcomeStringPolicy(t *testing.T) {
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.Rate = trace.RateNone
+	p.Policy = "cost"
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cost") {
+		t.Errorf("outcome string missing policy: %q", out.String())
+	}
+	p.Policy = ""
+	out, err = Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "paper") {
+		t.Errorf("outcome string missing default policy label: %q", out.String())
+	}
+}
+
+// TestReportDirPolicySuffix checks the artifact-name contract: default
+// (paper) runs keep their historical file names, non-default policies get
+// a "-<policy>" suffix so sweeps don't clobber the baseline.
+func TestReportDirPolicySuffix(t *testing.T) {
+	dir := t.TempDir()
+	p := tinyParams()
+	p.Engine = EnginePado
+	p.Workload = WorkloadMR
+	p.Rate = trace.RateNone
+	p.ReportDir = dir
+	p.Policy = "all-transient"
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "pado-mr-none-seed99-all-transient.report.json")
+	if out.ReportPath != want {
+		t.Errorf("ReportPath = %q, want %q", out.ReportPath, want)
+	}
+	rep, err := analyze.Load(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "all-transient" {
+		t.Errorf("report policy = %q, want all-transient", rep.Policy)
 	}
 }
 

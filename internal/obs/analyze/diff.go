@@ -43,6 +43,12 @@ type StageDelta struct {
 type Diff struct {
 	Base string `json:"base"` // label (usually the baseline path)
 	Cur  string `json:"cur"`
+	// Run identity of each side, so trajectory comparisons are
+	// self-describing about engine and placement policy.
+	BaseEngine string `json:"base_engine,omitempty"`
+	CurEngine  string `json:"cur_engine,omitempty"`
+	BasePolicy string `json:"base_policy,omitempty"`
+	CurPolicy  string `json:"cur_policy,omitempty"`
 
 	JCTBaseNS   int64   `json:"jct_base_ns"`
 	JCTCurNS    int64   `json:"jct_cur_ns"`
@@ -69,6 +75,10 @@ func DiffReports(base, cur *Report, baseLabel, curLabel string) *Diff {
 	d := &Diff{
 		Base:               baseLabel,
 		Cur:                curLabel,
+		BaseEngine:         base.Engine,
+		CurEngine:          cur.Engine,
+		BasePolicy:         base.Policy,
+		CurPolicy:          cur.Policy,
 		JCTBaseNS:          base.JCTNS,
 		JCTCurNS:           cur.JCTNS,
 		JCTDeltaNS:         cur.JCTNS - base.JCTNS,
@@ -156,7 +166,25 @@ func (d *Diff) WriteText(w io.Writer) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
-	if err := p("base: %s\ncur:  %s\n", d.Base, d.Cur); err != nil {
+	ident := func(engine, policy string) string {
+		if engine == "" && policy == "" {
+			return ""
+		}
+		s := " ["
+		if engine != "" {
+			s += "engine=" + engine
+		}
+		if policy != "" {
+			if engine != "" {
+				s += " "
+			}
+			s += "policy=" + policy
+		}
+		return s + "]"
+	}
+	if err := p("base: %s%s\ncur:  %s%s\n",
+		d.Base, ident(d.BaseEngine, d.BasePolicy),
+		d.Cur, ident(d.CurEngine, d.CurPolicy)); err != nil {
 		return err
 	}
 	if err := p("jct: %s -> %s (%s, %+.1f%%)\n",

@@ -127,6 +127,8 @@ type Report struct {
 	Workload string `json:"workload,omitempty"`
 	Rate     string `json:"rate,omitempty"`
 	Seed     int64  `json:"seed,omitempty"`
+	// Policy names the placement policy that produced the run's plan.
+	Policy string `json:"policy,omitempty"`
 	// ScaleNSPerMinute maps wall nanoseconds to one paper minute (0
 	// when the run had no scale).
 	ScaleNSPerMinute int64 `json:"scale_ns_per_minute,omitempty"`
@@ -157,12 +159,22 @@ func Analyze(events []obs.Event, opts Options) *Report {
 	if jct <= 0 {
 		jct = m.jobEnd
 	}
+	policy := opts.Policy
+	if policy == "" {
+		for _, ev := range events {
+			if ev.Kind == obs.PlanCompiled {
+				policy = ev.Note
+				break
+			}
+		}
+	}
 	r := &Report{
 		Schema:           Schema,
 		Engine:           opts.Engine,
 		Workload:         opts.Workload,
 		Rate:             opts.Rate,
 		Seed:             opts.Seed,
+		Policy:           policy,
 		ScaleNSPerMinute: int64(opts.Scale.WallPerMinute),
 		JCTNS:            int64(jct),
 		JCTMinutes:       opts.Scale.Minutes(jct),
@@ -555,8 +567,12 @@ func (r *Report) WriteText(w io.Writer) error {
 		return fmt.Sprintf("%s (%.2f paper-min)", dur(ns), float64(ns)/float64(r.ScaleNSPerMinute))
 	}
 
-	if err := p("report %s: engine=%s workload=%s rate=%s seed=%d\n",
-		r.Schema, r.Engine, r.Workload, r.Rate, r.Seed); err != nil {
+	policy := ""
+	if r.Policy != "" {
+		policy = " policy=" + r.Policy
+	}
+	if err := p("report %s: engine=%s workload=%s rate=%s seed=%d%s\n",
+		r.Schema, r.Engine, r.Workload, r.Rate, r.Seed, policy); err != nil {
 		return err
 	}
 	timedOut := ""

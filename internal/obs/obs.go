@@ -85,6 +85,11 @@ const (
 	// threshold tripped, or the event queue overflowed).
 	JobAborted
 
+	// PlanCompiled marks the compiler producing the physical plan; Note
+	// carries the placement-policy name, so every trace is
+	// self-describing about which policy produced its placements.
+	PlanCompiled
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -108,6 +113,7 @@ var kindNames = [kindCount]string{
 	CacheMiss:        "cache_miss",
 	ChaosInjected:    "chaos_injected",
 	JobAborted:       "job_aborted",
+	PlanCompiled:     "plan_compiled",
 }
 
 // kindByName inverts kindNames, built once on first ParseKind call.

@@ -11,6 +11,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/metrics"
+	"pado/internal/obs"
 	"pado/internal/simnet"
 )
 
@@ -39,6 +40,7 @@ func Run(ctx context.Context, cl *cluster.Cluster, g *dag.Graph, cfg Config) (*R
 	if err != nil {
 		return nil, err
 	}
+	cfg.Tracer.Buf().Emit(obs.Event{Kind: obs.PlanCompiled, Note: plan.Policy})
 	return RunPlan(ctx, cl, plan, cfg)
 }
 

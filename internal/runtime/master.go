@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"time"
 
 	"pado/internal/cluster"
@@ -47,6 +48,12 @@ type Master struct {
 	stages         []*stageRun
 	assignments    map[taskRef]string // outstanding slot holders
 	cacheIndex     map[cacheKey]map[string]bool
+
+	// recvActive/recvPeak track concurrent live reserved tasks
+	// (receivers) so reserved-slot pressure against the placement
+	// policy's budget is observable ("reserved_slots_peak").
+	recvActive int
+	recvPeak   int
 
 	allowReservedFrag bool
 	finished          bool
@@ -135,7 +142,20 @@ func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Jo
 	for i, ps := range plan.Stages {
 		m.stages[i] = &stageRun{ps: ps}
 	}
+	if b := cfg.Plan.Env.ReservedSlotBudget; b > 0 {
+		met.Counter("reserved_slots_budget").Store(int64(b))
+	}
 	return m
+}
+
+// trackReceivers adjusts the live reserved-task count and records the
+// high-water mark.
+func (m *Master) trackReceivers(delta int) {
+	m.recvActive += delta
+	if m.recvActive > m.recvPeak {
+		m.recvPeak = m.recvActive
+		m.met.Counter("reserved_slots_peak").Store(int64(m.recvPeak))
+	}
 }
 
 // Cluster listener: callbacks convert to events. These run on cluster
@@ -226,8 +246,8 @@ func (m *Master) dropExecutor(id string) {
 	delete(m.execs, id)
 	delete(m.kinds, id)
 	delete(m.slotsFree, id)
-	m.transientOrder = removeString(m.transientOrder, id)
-	m.reservedOrder = removeString(m.reservedOrder, id)
+	m.transientOrder = slices.DeleteFunc(m.transientOrder, func(x string) bool { return x == id })
+	m.reservedOrder = slices.DeleteFunc(m.reservedOrder, func(x string) bool { return x == id })
 	for key, set := range m.cacheIndex {
 		delete(set, id)
 		if len(set) == 0 {
@@ -239,16 +259,6 @@ func (m *Master) dropExecutor(id string) {
 			delete(m.assignments, ref)
 		}
 	}
-}
-
-func removeString(s []string, v string) []string {
-	out := s[:0]
-	for _, x := range s {
-		if x != v {
-			out = append(out, x)
-		}
-	}
-	return out
 }
 
 // onEvicted implements §3.2.5: only the uncommitted tasks that were
@@ -290,14 +300,14 @@ func (m *Master) onFailed(c *cluster.Container) {
 
 	lost := make(map[int]bool)
 	for _, s := range m.stages {
-		if s.status == sDone && containsString(s.outputExecs, c.ID) {
+		if s.status == sDone && slices.Contains(s.outputExecs, c.ID) {
 			lost[s.ps.ID] = true
 		}
 	}
 	for _, s := range m.stages {
 		restart := lost[s.ps.ID]
 		if s.status == sRunning || s.status == sStartingReceivers {
-			if containsString(s.recvExecs, c.ID) {
+			if slices.Contains(s.recvExecs, c.ID) {
 				restart = true
 			}
 			for _, pid := range s.ps.Parents {
@@ -312,15 +322,6 @@ func (m *Master) onFailed(c *cluster.Container) {
 	}
 }
 
-func containsString(s []string, v string) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
 // resetStage returns a stage to pending so scheduling recomputes it under
 // a fresh generation. Receivers still alive are canceled; in-flight tasks
 // keep running but their events carry a stale generation and are dropped.
@@ -328,6 +329,9 @@ func (m *Master) resetStage(s *stageRun) {
 	for idx, e := range s.recvExecs {
 		if ex := m.execs[e]; ex != nil {
 			ex.CancelReceiver(s.ps.ID, s.gen, idx)
+		}
+		if !s.recvDone[idx] {
+			m.trackReceivers(-1)
 		}
 	}
 	s.status = sPending
@@ -511,6 +515,7 @@ func (m *Master) onReservedTaskDone(e evReservedTaskDone) {
 	}
 	s.recvDone[e.Index] = true
 	s.nDone++
+	m.trackReceivers(-1)
 	m.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: obs.ReservedFrag,
 		Task: e.Index, Exec: s.recvExecs[e.Index], Bytes: e.Bytes})
 	if s.nDone == len(s.recvExecs) {
@@ -620,6 +625,7 @@ func (m *Master) startStage(s *stageRun) {
 		// Reserved tasks are scheduled and set up first so they can
 		// receive pushed outputs (§3.2.3).
 		s.status = sStartingReceivers
+		m.trackReceivers(r)
 		for i := 0; i < r; i++ {
 			m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: ps.ID, Frag: obs.ReservedFrag,
 				Task: i, Exec: s.recvExecs[i]})
@@ -705,7 +711,7 @@ func (m *Master) pickExecutor(pool []string, ps *core.PhysStage, frag *core.Frag
 	if !m.cfg.DisableCache {
 		for _, key := range taskCacheKeys(m.plan, ps, frag, taskIdx) {
 			for exID := range m.cacheIndex[key] {
-				if m.slotsFree[exID] > 0 && containsString(pool, exID) {
+				if m.slotsFree[exID] > 0 && slices.Contains(pool, exID) {
 					return exID
 				}
 			}
