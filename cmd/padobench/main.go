@@ -4,6 +4,12 @@
 //	padobench -figure 5           # ALS eviction-rate sweep
 //	padobench -figure all         # everything
 //	padobench -single -engine pado -workload mlr -rate high
+//	padobench -jobs 3 -mix mr,mr,mlr -rate medium
+//
+// -single exits non-zero when the run times out or aborts. -jobs runs N
+// concurrent jobs on one shared cluster under the multi-job manager and
+// exits non-zero unless every job completes with its invariants intact
+// (and, with -require-speedup, unless sharing beats the serial baseline).
 package main
 
 import (
@@ -40,6 +46,12 @@ func main() {
 	reportDir := flag.String("reportdir", "", "write one analyzer report JSON per experiment cell into this directory (render/diff with padoreport)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	jobs := flag.Int("jobs", 0, "run N concurrent jobs on one shared cluster (multi-job manager)")
+	mix := flag.String("mix", "mr,mr,mlr",
+		"multi-job: comma-separated workload[:weight] cycle assigned round-robin (e.g. mlr:8,mr,mr)")
+	stagger := flag.Float64("stagger", 0, "multi-job: paper minutes between successive submissions")
+	requireSpeedup := flag.Float64("require-speedup", 0,
+		"multi-job: also run the serial one-job-per-cluster baseline and fail unless makespan speedup >= this")
 	noAgg := flag.Bool("pado-noagg", false, "disable Pado partial aggregation")
 	noCache := flag.Bool("pado-nocache", false, "disable Pado task input caching")
 	pull := flag.Bool("pado-pull", false, "Pado ablation: pull-based stage boundaries")
@@ -87,6 +99,11 @@ func main() {
 		}
 	}
 
+	if *jobs > 0 {
+		runJobs(base, *jobs, *mix, *rate, *stagger, *requireSpeedup)
+		return
+	}
+
 	if *single {
 		p := base
 		var ok bool
@@ -107,6 +124,12 @@ func main() {
 		fmt.Printf("  %s\n", out.Metrics)
 		if out.ReportPath != "" {
 			fmt.Printf("  report: %s\n", out.ReportPath)
+		}
+		if out.TimedOut {
+			fatalf("FAIL: run timed out after %.0f paper minutes", p.TimeoutMinutes)
+		}
+		if out.Chaos != nil && !out.Chaos.OK() {
+			fatalf("FAIL: %d invariant violation(s)", len(out.Chaos.Violations))
 		}
 		return
 	}
@@ -138,6 +161,66 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runJobs drives the multi-job path: n concurrent jobs drawn round-robin
+// from the mix cycle, all sharing one cluster under the job manager.
+func runJobs(base harness.Params, n int, mix, rate string, stagger, requireSpeedup float64) {
+	p := base
+	p.Engine = harness.EnginePado
+	var ok bool
+	if p.Rate, ok = parseRate(rate); !ok {
+		fatalf("unknown rate %q", rate)
+	}
+	cycle := strings.Split(mix, ",")
+	for i := 0; i < n; i++ {
+		name := strings.TrimSpace(cycle[i%len(cycle)])
+		weight := 0.0
+		if at := strings.IndexByte(name, ':'); at >= 0 {
+			if _, err := fmt.Sscanf(name[at+1:], "%g", &weight); err != nil || weight <= 0 {
+				fatalf("bad weight in -mix entry %q", name)
+			}
+			name = name[:at]
+		}
+		w, ok := parseWorkload(name)
+		if !ok {
+			fatalf("unknown workload %q in -mix", name)
+		}
+		p.Jobs = append(p.Jobs, harness.JobSpec{
+			Workload:       w,
+			Weight:         weight,
+			StaggerMinutes: float64(i) * stagger,
+		})
+	}
+
+	out, err := harness.RunJobs(p)
+	if err != nil {
+		fatalf("multi-job run: %v", err)
+	}
+	fmt.Println(out)
+	for _, j := range out.Jobs {
+		if j.ReportPath != "" {
+			fmt.Printf("  report: %s\n", j.ReportPath)
+		}
+	}
+	if out.AggregatePath != "" {
+		fmt.Printf("  aggregate report: %s\n", out.AggregatePath)
+	}
+	if !out.OK() {
+		fatalf("FAIL: a job timed out, errored, or violated an invariant")
+	}
+
+	if requireSpeedup > 0 {
+		_, serial, err := harness.RunJobsSerial(p)
+		if err != nil {
+			fatalf("serial baseline: %v", err)
+		}
+		sp := out.Speedup(serial)
+		fmt.Printf("serial total=%.1f min  speedup=%.2fx\n", serial, sp)
+		if sp < requireSpeedup {
+			fatalf("FAIL: speedup %.2fx below required %.2fx", sp, requireSpeedup)
+		}
 	}
 }
 

@@ -121,7 +121,7 @@ func TestTriggerMatching(t *testing.T) {
 
 	// Both commit faults are now installed: a relay on any stage sees
 	// the delay and 2 duplicates.
-	delay, dups := e.CommitRelay(5, 0, 0, 0, 0)
+	delay, dups := e.CommitRelay(1, 5, 0, 0, 0, 0)
 	if delay != time.Millisecond || dups != 2 {
 		t.Errorf("CommitRelay = (%v, %d), want (1ms, 2)", delay, dups)
 	}

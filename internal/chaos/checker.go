@@ -141,6 +141,27 @@ type commitKey struct {
 func Check(events []obs.Event, parents map[int][]int) *Report {
 	r := &Report{Events: len(events)}
 
+	return check(events, parents, r)
+}
+
+// CheckJob verifies the protocol invariants for one job of a multi-job
+// manager run: only events tagged with that job id (plus fleet-wide
+// events, Job 0, which carry the failure causes — container evictions
+// and failures — every job's protocol reacts to) are replayed. parents
+// is that job's stage parent map.
+func CheckJob(events []obs.Event, job int, parents map[int][]int) *Report {
+	filtered := make([]obs.Event, 0, len(events))
+	for _, ev := range events {
+		if ev.Job == job || ev.Job == 0 {
+			filtered = append(filtered, ev)
+		}
+	}
+	r := &Report{Events: len(filtered)}
+	return check(filtered, parents, r)
+}
+
+func check(events []obs.Event, parents map[int][]int, r *Report) *Report {
+
 	epoch := make(map[int]int)        // stage -> current scheduling epoch
 	lastSched := make(map[int]int)    // stage -> event index of last StageScheduled
 	lastComplete := make(map[int]int) // stage -> event index of last StageComplete

@@ -29,7 +29,7 @@ type Engine struct {
 	mu       sync.Mutex
 	rules    []*ruleState
 	byID     map[string]*ruleState
-	launched map[int]map[[2]int]bool // stage -> launched (frag, task) set
+	launched map[[2]int]map[[2]int]bool // (job, stage) -> launched (frag, task) set
 	commits  []*commitFault
 	log      []Injection
 	removals []func()
@@ -46,7 +46,7 @@ type ruleState struct {
 	armed   bool
 	fired   bool
 	matches int
-	matched map[[2]int]bool // distinct (frag, task) matches, for Fraction
+	matched map[[3]int]bool // distinct (job, frag, task) matches, for Fraction
 }
 
 // action is one fault ready to apply, with the triggering event's
@@ -90,14 +90,14 @@ func NewEngine(plan *Plan, cl *cluster.Cluster) *Engine {
 		plan:     plan,
 		cl:       cl,
 		byID:     make(map[string]*ruleState),
-		launched: make(map[int]map[[2]int]bool),
+		launched: make(map[[2]int]map[[2]int]bool),
 		actions:  make(chan action, 64),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	for i := range plan.Rules {
 		r := &plan.Rules[i]
-		rs := &ruleState{rule: r, matched: make(map[[2]int]bool)}
+		rs := &ruleState{rule: r, matched: make(map[[3]int]bool)}
 		if r.Trigger.On != "" {
 			rs.kind, _ = obs.ParseKind(r.Trigger.On)
 		}
@@ -212,10 +212,11 @@ func (e *Engine) tap(ev obs.Event) {
 		return
 	}
 	if ev.Kind == obs.TaskLaunched && ev.Frag >= 0 {
-		set := e.launched[ev.Stage]
+		key := [2]int{ev.Job, ev.Stage}
+		set := e.launched[key]
 		if set == nil {
 			set = make(map[[2]int]bool)
-			e.launched[ev.Stage] = set
+			e.launched[key] = set
 		}
 		set[[2]int{ev.Frag, ev.Task}] = true
 	}
@@ -225,6 +226,9 @@ func (e *Engine) tap(ev obs.Event) {
 			continue
 		}
 		t := &rs.rule.Trigger
+		if !jobMatches(t.Job, ev.Job) {
+			continue
+		}
 		if t.Stage != Any && t.Stage != ev.Stage {
 			continue
 		}
@@ -242,8 +246,11 @@ func (e *Engine) tap(ev obs.Event) {
 		}
 		rs.matches++
 		if t.Fraction > 0 {
-			rs.matched[[2]int{ev.Frag, ev.Task}] = true
-			total := len(e.launched[t.Stage])
+			rs.matched[[3]int{ev.Job, ev.Frag, ev.Task}] = true
+			// The denominator is the matched event's own job, so a
+			// wildcard-job fraction trigger still measures progress
+			// within one job's stage rather than across the fleet.
+			total := len(e.launched[[2]int{ev.Job, t.Stage}])
 			if total == 0 || float64(len(rs.matched)) < t.Fraction*float64(total) {
 				continue
 			}
@@ -386,14 +393,18 @@ func (e *Engine) liveIDs(kind cluster.Kind) []string {
 }
 
 // CommitRelay implements the runtime's ChaosHook: installed commit
-// faults delay and/or duplicate the master's commit relays.
-func (e *Engine) CommitRelay(stage, frag, task, attempt, recvIdx int) (time.Duration, int) {
+// faults delay and/or duplicate the manager's commit relays, optionally
+// scoped to one job's protocol.
+func (e *Engine) CommitRelay(job, stage, frag, task, attempt, recvIdx int) (time.Duration, int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var delay time.Duration
 	dups := 0
 	for _, cf := range e.commits {
 		f := &cf.rule.Fault
+		if !jobMatches(f.Job, job) {
+			continue
+		}
 		if f.Stage != Any && f.Stage != stage {
 			continue
 		}

@@ -68,6 +68,12 @@ type Trigger struct {
 	// — which combined with Delay expresses purely timed faults.
 	On string `json:"on,omitempty"`
 
+	// Job filters the matched event's job id on a multi-job manager.
+	// Both Any (-1) and 0 match every job — 0 so that Go struct
+	// literals written for single-job runs keep firing — while a
+	// positive Job targets exactly that job's events.
+	Job int `json:"job,omitempty"`
+
 	// Stage, Frag, and Task filter the matched event's coordinates; Any
 	// (-1) matches everything. JSON omitting a field means Any.
 	Stage int `json:"stage,omitempty"`
@@ -97,11 +103,11 @@ type Trigger struct {
 	Delay Duration `json:"delay,omitempty"`
 }
 
-// UnmarshalJSON defaults Stage/Frag/Task to Any so that omitting a field
-// in a plan file means "match everything", not "match 0".
+// UnmarshalJSON defaults Job/Stage/Frag/Task to Any so that omitting a
+// field in a plan file means "match everything", not "match 0".
 func (t *Trigger) UnmarshalJSON(b []byte) error {
 	type raw Trigger
-	r := raw{Stage: Any, Frag: Any, Task: Any}
+	r := raw{Job: Any, Stage: Any, Frag: Any, Task: Any}
 	if err := json.Unmarshal(b, &r); err != nil {
 		return err
 	}
@@ -112,7 +118,13 @@ func (t *Trigger) UnmarshalJSON(b []byte) error {
 // On returns a wildcard trigger matching events of the named kind, for
 // building plans in Go (where struct-literal zero values would otherwise
 // mean stage/frag/task 0).
-func On(kind string) Trigger { return Trigger{On: kind, Stage: Any, Frag: Any, Task: Any} }
+func On(kind string) Trigger {
+	return Trigger{On: kind, Job: Any, Stage: Any, Frag: Any, Task: Any}
+}
+
+// jobMatches reports whether a rule's job selector accepts an event's
+// job id. Any and 0 are both wildcards (see Trigger.Job).
+func jobMatches(sel, job int) bool { return sel == Any || sel == 0 || sel == job }
 
 // Fault operations.
 const (
@@ -164,6 +176,9 @@ type Fault struct {
 	// (0 = until the job ends).
 	Window Duration `json:"window,omitempty"`
 
+	// Job filters commit-delay/commit-dup to one job on a multi-job
+	// manager (Any and 0 both mean all jobs, like Trigger.Job).
+	Job int `json:"job,omitempty"`
 	// Stage filters commit-delay/commit-dup to one stage (Any = all).
 	Stage int `json:"stage,omitempty"`
 	// Delay is the commit-delay amount.
@@ -173,10 +188,10 @@ type Fault struct {
 	Commits int `json:"commits,omitempty"`
 }
 
-// UnmarshalJSON defaults Stage to Any.
+// UnmarshalJSON defaults Job and Stage to Any.
 func (f *Fault) UnmarshalJSON(b []byte) error {
 	type raw Fault
-	r := raw{Stage: Any}
+	r := raw{Job: Any, Stage: Any}
 	if err := json.Unmarshal(b, &r); err != nil {
 		return err
 	}

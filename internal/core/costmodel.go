@@ -14,6 +14,7 @@ import (
 //     an all-transient baseline) — those reserved vertices are mandatory,
 //     so they are charged against the budget first, even if that exceeds
 //     it: validity trumps budgeting;
+//
 //  2. score every remaining transient vertex by the expected work an
 //     eviction of its output destroys, per reserved slot it would occupy:
 //
@@ -24,6 +25,7 @@ import (
 //     is the number of consumers that would each re-trigger that chain,
 //     and slots(v) = v.Parallelism is the reserved capacity it would
 //     pin;
+//
 //  3. greedily reserve vertices in descending score order (ties broken by
 //     vertex id) while they fit in the remaining budget; vertices that do
 //     not fit stay transient. Read sources are never candidates (the

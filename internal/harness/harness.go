@@ -132,6 +132,19 @@ type Params struct {
 	// into the directory, named like TraceDir exports. The directory is
 	// created if needed.
 	ReportDir string
+
+	// ForceTrace enables event tracing even when no TraceDir/ReportDir/
+	// Chaos asks for it. RunJobsSerial sets it so the serial baseline
+	// pays the same tracing overhead the (always-traced) multi-job run
+	// does; without it the speedup comparison is skewed.
+	ForceTrace bool
+
+	// Jobs, when non-empty, switches the experiment to multi-job mode
+	// (RunJobs): every spec runs concurrently on ONE shared cluster
+	// under one runtime.JobManager, instead of the one-job-per-cluster
+	// single path. Workload/Size/Policy above become defaults each spec
+	// may override; Engine must be EnginePado.
+	Jobs []JobSpec
 }
 
 func (p Params) withDefaults() Params {
@@ -311,7 +324,7 @@ func runOnce(p Params) (Outcome, error) {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if p.TraceDir != "" || p.ReportDir != "" || p.Chaos != nil {
+	if p.TraceDir != "" || p.ReportDir != "" || p.Chaos != nil || p.ForceTrace {
 		tracer = obs.New()
 	}
 
@@ -328,24 +341,9 @@ func runOnce(p Params) (Outcome, error) {
 	var stageParents map[int][]int
 	switch p.Engine {
 	case EnginePado:
-		cfg := runtime.Config{Tracer: tracer}
-		if engine != nil {
-			cfg.Chaos = engine
-		}
-		// Pado concentrates reduce tasks on the reserved containers,
-		// so its reduce parallelism tracks the reserved pool.
-		cfg.Plan.ReduceParallelism = 2 * p.Reserved
-		pol, err := core.PolicyByName(p.Policy)
+		cfg, err := p.padoRuntimeConfig(tracer, engine)
 		if err != nil {
 			return Outcome{}, err
-		}
-		cfg.Plan.Policy = pol
-		cfg.Plan.Env = p.clusterConfig().PlacementEnv()
-		// The partial-aggregation escape delay is a paper-time knob
-		// (§3.2.7); pin it to 0.1 paper minutes at the current scale.
-		cfg.AggMaxDelay = p.Scale.Wall(0.1)
-		if p.PadoConfig != nil {
-			p.PadoConfig(&cfg)
 		}
 		res, err := runtime.Run(ctx, cl, pipe.Graph(), cfg)
 		if err != nil {
@@ -404,6 +402,32 @@ func runOnce(p Params) (Outcome, error) {
 	}
 	return Outcome{Params: p, JCTMinutes: jct, TimedOut: snap.TimedOut, Metrics: snap,
 		Chaos: report, Injections: injections, ReportPath: reportPath}, nil
+}
+
+// padoRuntimeConfig assembles the Pado runtime configuration for one
+// experiment cell: reduce parallelism tracking the reserved pool, the
+// named placement policy against the cell's capacity env, and the
+// paper-time partial-aggregation escape delay (§3.2.7, pinned to 0.1
+// paper minutes at the current scale).
+func (p Params) padoRuntimeConfig(tracer *obs.Tracer, engine *chaos.Engine) (runtime.Config, error) {
+	cfg := runtime.Config{Tracer: tracer}
+	if engine != nil {
+		cfg.Chaos = engine
+	}
+	// Pado concentrates reduce tasks on the reserved containers, so its
+	// reduce parallelism tracks the reserved pool.
+	cfg.Plan.ReduceParallelism = 2 * p.Reserved
+	pol, err := core.PolicyByName(p.Policy)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+	cfg.Plan.Policy = pol
+	cfg.Plan.Env = p.clusterConfig().PlacementEnv()
+	cfg.AggMaxDelay = p.Scale.Wall(0.1)
+	if p.PadoConfig != nil {
+		p.PadoConfig(&cfg)
+	}
+	return cfg, nil
 }
 
 // writeReport analyzes one run's event stream and writes the report

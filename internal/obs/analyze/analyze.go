@@ -54,6 +54,13 @@ type Options struct {
 	JCT      time.Duration
 	TimedOut bool
 
+	// Job, when positive, restricts analysis to one job of a multi-job
+	// manager trace: only events tagged with that job id, plus
+	// fleet-wide events (Job 0, container lifecycle), are analyzed.
+	// Zero analyzes the whole stream — single-job traces and fleet
+	// aggregates — unchanged.
+	Job int
+
 	// Run identity, embedded in the report for padoreport diffs.
 	Engine   string
 	Workload string

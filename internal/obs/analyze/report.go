@@ -127,6 +127,10 @@ type Report struct {
 	Workload string `json:"workload,omitempty"`
 	Rate     string `json:"rate,omitempty"`
 	Seed     int64  `json:"seed,omitempty"`
+	// Job identifies the analyzed job of a multi-job manager trace (0 =
+	// whole stream; omitted from JSON so single-job reports are
+	// byte-identical to the pre-multi-job schema).
+	Job int `json:"job,omitempty"`
 	// Policy names the placement policy that produced the run's plan.
 	Policy string `json:"policy,omitempty"`
 	// ScaleNSPerMinute maps wall nanoseconds to one paper minute (0
@@ -153,6 +157,15 @@ func Analyze(events []obs.Event, opts Options) *Report {
 	if opts.StragglerK <= 0 {
 		opts.StragglerK = 2
 	}
+	if opts.Job > 0 {
+		filtered := make([]obs.Event, 0, len(events))
+		for _, ev := range events {
+			if ev.Job == opts.Job || ev.Job == 0 {
+				filtered = append(filtered, ev)
+			}
+		}
+		events = filtered
+	}
 	m := build(events, opts)
 
 	jct := opts.JCT
@@ -174,6 +187,7 @@ func Analyze(events []obs.Event, opts Options) *Report {
 		Workload:         opts.Workload,
 		Rate:             opts.Rate,
 		Seed:             opts.Seed,
+		Job:              opts.Job,
 		Policy:           policy,
 		ScaleNSPerMinute: int64(opts.Scale.WallPerMinute),
 		JCTNS:            int64(jct),
@@ -571,8 +585,12 @@ func (r *Report) WriteText(w io.Writer) error {
 	if r.Policy != "" {
 		policy = " policy=" + r.Policy
 	}
-	if err := p("report %s: engine=%s workload=%s rate=%s seed=%d%s\n",
-		r.Schema, r.Engine, r.Workload, r.Rate, r.Seed, policy); err != nil {
+	job := ""
+	if r.Job > 0 {
+		job = fmt.Sprintf(" job=%d", r.Job)
+	}
+	if err := p("report %s: engine=%s workload=%s rate=%s seed=%d%s%s\n",
+		r.Schema, r.Engine, r.Workload, r.Rate, r.Seed, job, policy); err != nil {
 		return err
 	}
 	timedOut := ""

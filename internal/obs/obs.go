@@ -90,6 +90,15 @@ const (
 	// self-describing about which policy produced its placements.
 	PlanCompiled
 
+	// Job lifecycle on a multi-job master (JobManager): submission,
+	// the admission decision (admitted / queued behind the budget /
+	// rejected outright), and completion. All carry Event.Job.
+	JobSubmitted
+	JobAdmitted
+	JobQueued
+	JobRejected
+	JobCompleted
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -114,6 +123,11 @@ var kindNames = [kindCount]string{
 	ChaosInjected:    "chaos_injected",
 	JobAborted:       "job_aborted",
 	PlanCompiled:     "plan_compiled",
+	JobSubmitted:     "job_submitted",
+	JobAdmitted:      "job_admitted",
+	JobQueued:        "job_queued",
+	JobRejected:      "job_rejected",
+	JobCompleted:     "job_completed",
 }
 
 // kindByName inverts kindNames, built once on first ParseKind call.
@@ -160,6 +174,11 @@ type Event struct {
 	T time.Duration
 	// Kind classifies the event.
 	Kind Kind
+	// Job scopes the event to one job on a multi-job master. 0 means
+	// fleet-wide / unscoped (container lifecycle, chaos injections, and
+	// every event of a single-job run); JobManager job ids start at 1.
+	// Buffers handed out by Tracer.JobBuf stamp it automatically.
+	Job int
 	// Stage is the physical stage id (or the parent stage being fetched
 	// from, for Fetch* events). -1 when not stage-scoped.
 	Stage int
@@ -231,6 +250,21 @@ func (t *Tracer) Buf() *Buf {
 		return nil
 	}
 	b := &Buf{t: t}
+	t.mu.Lock()
+	t.bufs = append(t.bufs, b)
+	t.mu.Unlock()
+	return b
+}
+
+// JobBuf registers and returns a new event buffer whose emissions are
+// stamped with the given job id (unless the emitter already set one), so
+// per-job components on a multi-job master tag their whole stream without
+// touching each emit site. A nil tracer returns a nil Buf.
+func (t *Tracer) JobBuf(job int) *Buf {
+	if t == nil {
+		return nil
+	}
+	b := &Buf{t: t, job: job}
 	t.mu.Lock()
 	t.bufs = append(t.bufs, b)
 	t.mu.Unlock()
@@ -309,17 +343,22 @@ func (t *Tracer) Len() int {
 // nil *Buf discards events after a single pointer check.
 type Buf struct {
 	t   *Tracer
+	job int // stamped onto events that carry no job id (JobBuf)
 	mu  sync.Mutex
 	evs []Event
 }
 
-// Emit records ev, stamping it with the tracer's virtual clock. The
-// caller leaves ev.T zero. Nil-safe.
+// Emit records ev, stamping it with the tracer's virtual clock and — for
+// job-scoped buffers — the buffer's job id when the caller left ev.Job
+// zero. The caller leaves ev.T zero. Nil-safe.
 func (b *Buf) Emit(ev Event) {
 	if b == nil {
 		return
 	}
 	ev.T = b.t.clock.Since(b.t.start)
+	if ev.Job == 0 {
+		ev.Job = b.job
+	}
 	if c := b.t.sink[ev.Kind]; c != nil {
 		c.Add(1)
 	}

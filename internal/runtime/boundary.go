@@ -27,7 +27,7 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 	if nRecv == 0 {
 		// A reserved-root stage always has receivers; reaching here is
 		// a scheduling bug.
-		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: fmt.Errorf("runtime: no receivers for stage %d", spec.Stage), Fatal: true})
+		ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: fmt.Errorf("runtime: no receivers for stage %d", spec.Stage), Fatal: true})
 		return
 	}
 
@@ -61,11 +61,11 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 		for i := range frames {
 			payload, err := encodeAccTable(rootOp.AccCoder, perRecv[i])
 			if err != nil {
-				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+				ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: true})
 				return
 			}
 			frames[i] = &pushFrame{
-				Stage: spec.Stage, Gen: spec.Gen, RecvIdx: i, Frag: spec.Frag,
+				Job: ex.job, Stage: spec.Stage, Gen: spec.Gen, RecvIdx: i, Frag: spec.Frag,
 				Cover:    []senderRef{{Index: spec.Index, Attempt: spec.Attempt}},
 				Sections: []pushSection{{Tag: "", Aggregated: true, Payload: payload}},
 			}
@@ -84,7 +84,7 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 	for _, b := range frag.Boundaries {
 		coder, err := dataflow.OutputCoder(g.Vertex(b.From))
 		if err != nil {
-			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+			ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: true})
 			return
 		}
 		groups := make([][]data.Record, nRecv)
@@ -107,7 +107,7 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 		for i := range groups {
 			payload, err := data.EncodeAll(coder, groups[i])
 			if err != nil {
-				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+				ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: true})
 				return
 			}
 			sections[i] = append(sections[i], pushSection{Tag: b.Tag, Payload: payload})
@@ -116,7 +116,7 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 	frames := make([]*pushFrame, nRecv)
 	for i := range frames {
 		frames[i] = &pushFrame{
-			Stage: spec.Stage, Gen: spec.Gen, RecvIdx: i, Frag: spec.Frag,
+			Job: ex.job, Stage: spec.Stage, Gen: spec.Gen, RecvIdx: i, Frag: spec.Frag,
 			Cover:    []senderRef{{Index: spec.Index, Attempt: spec.Attempt}},
 			Sections: sections[i],
 		}
@@ -131,14 +131,14 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 			var buf []byte
 			buf, err := encodeFrameBlock(f)
 			if err != nil {
-				ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+				ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: true})
 				return
 			}
-			ex.store.Put(taskBlockID(spec.Stage, spec.Gen, spec.Frag, spec.Index, spec.Attempt, i), buf)
+			ex.store.Put(taskBlockID(ex.job, spec.Stage, spec.Gen, spec.Frag, spec.Index, spec.Attempt, i), buf)
 			total += int64(len(buf))
 		}
 		_ = total
-		ex.send(evOutputCommitted{ref: spec.ref()})
+		ex.send(evOutputCommitted{ref: ex.ref(spec)})
 		return
 	}
 	ex.pushFrames(spec, frames)
@@ -192,11 +192,11 @@ func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
 	})
 	if err != nil {
 		if !ex.stopped() {
-			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: isFatal(err)})
+			ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: isFatal(err)})
 		}
 		return
 	}
-	ex.send(evOutputCommitted{ref: spec.ref()})
+	ex.send(evOutputCommitted{ref: ex.ref(spec)})
 }
 
 // encodeFrameBlock / decodeFrameBlock serialize a pushFrame for the

@@ -8,7 +8,6 @@ import (
 
 	"pado/internal/chaos"
 	"pado/internal/cluster"
-	"pado/internal/core"
 	"pado/internal/metrics"
 	"pado/internal/obs"
 	"pado/internal/simnet"
@@ -80,18 +79,13 @@ func TestChaosPullEvictionRegression(t *testing.T) {
 	}
 }
 
-// TestEventQueueOverflow proves a full master event queue fails loudly:
+// TestEventQueueOverflow proves a full manager event queue fails loudly:
 // the drop is counted and the overflow channel carries an abort error,
 // instead of the listener silently blocking or the event vanishing.
 func TestEventQueueOverflow(t *testing.T) {
-	pipe, _ := buildWordCount(2, 10)
 	cl := newTestCluster(t, 2, 1, trace.RateNone)
-	plan, err := core.Compile(pipe.Graph(), core.PlanConfig{ReduceParallelism: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
 	met := &metrics.Job{}
-	m := newMaster(cl, plan, Config{EventQueue: 1}, met)
+	m := newManager(cl, ManagerConfig{EventQueue: 1, Metrics: met})
 
 	// Nobody drains m.events, so the first post fills the queue and the
 	// next two overflow.

@@ -91,11 +91,13 @@ type Config struct {
 // implemented by internal/chaos; the runtime only consults it.
 type ChaosHook interface {
 	// CommitRelay is called once per receiver as the master relays a
-	// task's output commit (§3.2.5). It returns how long to delay that
-	// relay and how many duplicate commit messages to send after the
-	// original — both zero in the common (unperturbed) case. Called from
-	// the master event loop; must not block.
-	CommitRelay(stage, frag, task, attempt, recvIdx int) (delay time.Duration, duplicates int)
+	// task's output commit (§3.2.5). job identifies the committing job
+	// on a multi-job manager, so faults can target one job's protocol
+	// without perturbing its neighbors. It returns how long to delay
+	// that relay and how many duplicate commit messages to send after
+	// the original — both zero in the common (unperturbed) case. Called
+	// from the manager event loop; must not block.
+	CommitRelay(job, stage, frag, task, attempt, recvIdx int) (delay time.Duration, duplicates int)
 }
 
 func (c Config) aggMaxTasks() int {

@@ -7,10 +7,12 @@ import (
 )
 
 // taskRef identifies one fragment task attempt within one stage
-// generation. Every executor-originated event carries a taskRef and the
-// master validates it against current state, so stale events from evicted
-// containers or restarted stages are dropped harmlessly.
+// generation of one job. Every executor-originated event carries a
+// taskRef and the manager validates it against current state, so stale
+// events from evicted containers or restarted stages are dropped
+// harmlessly.
 type taskRef struct {
+	Job     int
 	Stage   int
 	Gen     int
 	Frag    int
@@ -18,25 +20,33 @@ type taskRef struct {
 	Attempt int
 }
 
-// event is a master event-loop message.
+// event is a manager event-loop message.
 type event interface{}
 
 type evContainerLaunched struct{ C *cluster.Container }
 type evContainerEvicted struct{ C *cluster.Container }
 type evContainerFailed struct{ C *cluster.Container }
 
+// evSubmit carries a new job into the manager loop for the admission
+// decision.
+type evSubmit struct{ j *jobRun }
+
+// evCancelJob asks the manager to abandon one job (deadline expired or
+// the submitter gave up); the job finishes with a timed-out result.
+type evCancelJob struct{ ID int }
+
 // evReceiverReady reports that a reserved task is registered and can
 // accept pushes.
 type evReceiverReady struct {
-	Stage, Gen, Index int
+	Job, Stage, Gen, Index int
 }
 
 // evReceiverFailed reports a reserved task error.
 type evReceiverFailed struct {
-	Stage, Gen, Index int
-	Exec              string
-	Err               error
-	Fatal             bool
+	Job, Stage, Gen, Index int
+	Exec                   string
+	Err                    error
+	Fatal                  bool
 }
 
 // evTaskComputed reports that a fragment task finished computing; its
@@ -66,16 +76,16 @@ type evPullFailed struct{ ref taskRef }
 // evReservedTaskDone reports a finalized reserved task whose output
 // partition now lives in its executor's local store.
 type evReservedTaskDone struct {
-	Stage, Gen, Index int
-	Exec              string
-	Bytes             int64
+	Job, Stage, Gen, Index int
+	Exec                   string
+	Bytes                  int64
 }
 
 // evResult carries a terminal transient task's output pushed to the
 // master collector.
 type evResult struct {
-	Stage, Gen, Index, Attempt int
-	Payload                    []byte
+	Job, Stage, Gen, Index, Attempt int
+	Payload                         []byte
 }
 
 // mailbox is an unbounded FIFO queue used for receiver messages, so the

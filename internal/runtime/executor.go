@@ -19,27 +19,206 @@ import (
 	"pado/internal/storage"
 )
 
-// Executor runs tasks on one container (§3.2.4). Transient executors run
-// fragment tasks and push their outputs toward reserved executors;
-// reserved executors additionally host receivers (reserved tasks) and
-// keep stage outputs in their local store.
+// nodeHost owns one container's network identity, shared across jobs:
+// simnet allows a single listener per node, so the host runs the serve
+// loop, owns the shared local block store, and routes inbound frames to
+// the per-job executors attached to it. The host lives as long as the
+// container; executors come and go with jobs.
+type nodeHost struct {
+	id    string
+	kind  cluster.Kind
+	node  *simnet.Node
+	slots int
+	store *storage.LocalStore
+	cpu   *simnet.Limiter // nil = unlimited compute capacity
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu   sync.Mutex
+	jobs map[int]*Executor
+}
+
+func newNodeHost(c *cluster.Container) (*nodeHost, error) {
+	h := &nodeHost{
+		id:    c.ID,
+		kind:  c.Kind,
+		node:  c.Node,
+		slots: c.Slots,
+		store: storage.NewLocalStore(),
+		cpu:   c.CPU,
+		stop:  make(chan struct{}),
+		jobs:  make(map[int]*Executor),
+	}
+	l, err := c.Node.Listen()
+	if err != nil {
+		return nil, err
+	}
+	go h.serve(l)
+	go func() {
+		select {
+		case <-c.Node.Down():
+		case <-h.stop:
+		}
+		h.shutdown()
+	}()
+	return h, nil
+}
+
+// shutdown stops the host and every attached executor. Called on node
+// down (eviction or failure) and on manager teardown.
+func (h *nodeHost) shutdown() {
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		h.mu.Lock()
+		exs := make([]*Executor, 0, len(h.jobs))
+		for _, ex := range h.jobs {
+			exs = append(exs, ex)
+		}
+		h.jobs = make(map[int]*Executor)
+		h.mu.Unlock()
+		for _, ex := range exs {
+			ex.shutdown()
+		}
+	})
+}
+
+func (h *nodeHost) stopped() bool {
+	select {
+	case <-h.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// attach registers a job's executor for inbound-frame routing. If the
+// host already stopped (the container raced its own eviction), the
+// executor is shut down immediately; the manager's eviction handling
+// cleans up the rest.
+func (h *nodeHost) attach(ex *Executor) {
+	h.mu.Lock()
+	h.jobs[ex.job] = ex
+	h.mu.Unlock()
+	if h.stopped() {
+		ex.shutdown()
+	}
+}
+
+// detach removes and shuts down one job's executor (job teardown). The
+// shared store is left intact: committed stage outputs remain fetchable
+// while the finished job's results are collected.
+func (h *nodeHost) detach(job int) {
+	h.mu.Lock()
+	ex := h.jobs[job]
+	delete(h.jobs, job)
+	h.mu.Unlock()
+	if ex != nil {
+		ex.shutdown()
+	}
+}
+
+func (h *nodeHost) executor(job int) *Executor {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.jobs[job]
+}
+
+// serve handles inbound data-plane connections: boundary pushes (routed
+// to the target job's executor) and block store/fetch against the shared
+// store.
+func (h *nodeHost) serve(l *simnet.Listener) {
+	for {
+		conn, err := l.Accept(h.stop)
+		if err != nil {
+			return
+		}
+		go h.handleConn(conn)
+	}
+}
+
+func (h *nodeHost) handleConn(conn *simnet.Conn) {
+	defer conn.Close()
+	d := data.NewDecoder(conn)
+	e := data.NewEncoder(conn)
+	for {
+		op, err := d.Byte()
+		if err != nil {
+			return
+		}
+		switch op {
+		case framePush:
+			f, err := readPushFrame(d)
+			if err != nil {
+				return
+			}
+			ex := h.executor(f.Job)
+			ok := ex != nil && ex.deliverPush(f)
+			resp := byte(respOK)
+			if !ok {
+				resp = respNo
+			}
+			if e.Byte(resp) != nil || e.Flush() != nil {
+				return
+			}
+		case frameStore:
+			id, err := d.String()
+			if err != nil {
+				return
+			}
+			payload, err := d.Bytes(0)
+			if err != nil {
+				return
+			}
+			h.store.Put(id, payload)
+			if e.Byte(respOK) != nil || e.Flush() != nil {
+				return
+			}
+		case frameFetch:
+			id, err := d.String()
+			if err != nil {
+				return
+			}
+			payload, ok := h.store.Get(id)
+			if !ok {
+				if e.Byte(respNo) != nil || e.Flush() != nil {
+					return
+				}
+				continue
+			}
+			if e.Byte(respOK) != nil || e.Bytes(payload) != nil || e.Flush() != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Executor runs one job's tasks on one container (§3.2.4). Transient
+// executors run fragment tasks and push their outputs toward reserved
+// executors; reserved executors additionally host receivers (reserved
+// tasks) and keep stage outputs in the host's local store. The network
+// identity (listener, store, CPU limiter) belongs to the nodeHost and is
+// shared by every job's executor on the container; per-job state (cache,
+// receivers, aggregation buffers, connection pool) lives here.
 type Executor struct {
+	job  int
 	id   string
 	kind cluster.Kind
-	node *simnet.Node
 	net  *simnet.Network
 	plan *core.Plan
 	cfg  Config
 	met  *metrics.Job
-	tr   *obs.Buf // per-executor trace buffer (nil = tracing off)
+	tr   *obs.Buf // per-executor, job-tagged trace buffer (nil = off)
 
 	events   chan<- event
 	masterID string
 
-	store  *storage.LocalStore
+	store  *storage.LocalStore // the host's shared store
 	cache  *inputCache
 	flight *recache.Flight
-	cpu    *simnet.Limiter // nil = unlimited compute capacity
+	cpu    *simnet.Limiter // the host's limiter; nil = unlimited
 	pool   *connPool       // outbound data-plane connection reuse
 
 	stop     chan struct{}
@@ -53,46 +232,33 @@ type Executor struct {
 type recvKey struct{ Stage, Gen, Index int }
 type aggKey struct{ Stage, Gen, Frag int }
 
-func newExecutor(c *cluster.Container, net *simnet.Network, plan *core.Plan, cfg Config,
-	met *metrics.Job, events chan<- event, masterID string) (*Executor, error) {
+func newExecutor(job int, h *nodeHost, net *simnet.Network, plan *core.Plan, cfg Config,
+	met *metrics.Job, events chan<- event, masterID string) *Executor {
 
-	ex := &Executor{
-		id:        c.ID,
-		kind:      c.Kind,
-		node:      c.Node,
+	return &Executor{
+		job:       job,
+		id:        h.id,
+		kind:      h.kind,
 		net:       net,
 		plan:      plan,
 		cfg:       cfg,
 		met:       met,
-		tr:        cfg.Tracer.Buf(),
+		tr:        cfg.Tracer.JobBuf(job),
 		events:    events,
 		masterID:  masterID,
-		store:     storage.NewLocalStore(),
+		store:     h.store,
 		cache:     newInputCache(cfg.cacheCapacity()),
 		flight:    recache.NewFlight(),
-		pool:      newConnPool(net, c.ID, met),
-		cpu:       c.CPU,
+		pool:      newConnPool(net, h.id, met),
+		cpu:       h.cpu,
 		stop:      make(chan struct{}),
 		receivers: make(map[recvKey]*receiver),
 		aggbufs:   make(map[aggKey]*aggBuffer),
 	}
-	l, err := c.Node.Listen()
-	if err != nil {
-		return nil, err
-	}
-	go ex.serve(l)
-	go func() {
-		select {
-		case <-c.Node.Down():
-		case <-ex.stop:
-		}
-		ex.shutdown()
-	}()
-	return ex, nil
 }
 
-// shutdown stops the executor's goroutines. Called on node down (eviction
-// or failure) and on job teardown.
+// shutdown stops the executor's goroutines. Called by the host on node
+// down (eviction or failure) and by the manager on job teardown.
 func (ex *Executor) shutdown() {
 	ex.stopOnce.Do(func() {
 		close(ex.stop)
@@ -119,80 +285,11 @@ func (ex *Executor) stopped() bool {
 	}
 }
 
-// send delivers an event to the master unless the executor stopped.
+// send delivers an event to the manager unless the executor stopped.
 func (ex *Executor) send(ev event) {
 	select {
 	case ex.events <- ev:
 	case <-ex.stop:
-	}
-}
-
-// serve handles inbound data-plane connections: boundary pushes and block
-// fetches.
-func (ex *Executor) serve(l *simnet.Listener) {
-	for {
-		conn, err := l.Accept(ex.stop)
-		if err != nil {
-			return
-		}
-		go ex.handleConn(conn)
-	}
-}
-
-func (ex *Executor) handleConn(conn *simnet.Conn) {
-	defer conn.Close()
-	d := data.NewDecoder(conn)
-	e := data.NewEncoder(conn)
-	for {
-		op, err := d.Byte()
-		if err != nil {
-			return
-		}
-		switch op {
-		case framePush:
-			f, err := readPushFrame(d)
-			if err != nil {
-				return
-			}
-			ok := ex.deliverPush(f)
-			resp := byte(respOK)
-			if !ok {
-				resp = respNo
-			}
-			if e.Byte(resp) != nil || e.Flush() != nil {
-				return
-			}
-		case frameStore:
-			id, err := d.String()
-			if err != nil {
-				return
-			}
-			payload, err := d.Bytes(0)
-			if err != nil {
-				return
-			}
-			ex.store.Put(id, payload)
-			if e.Byte(respOK) != nil || e.Flush() != nil {
-				return
-			}
-		case frameFetch:
-			id, err := d.String()
-			if err != nil {
-				return
-			}
-			payload, ok := ex.store.Get(id)
-			if !ok {
-				if e.Byte(respNo) != nil || e.Flush() != nil {
-					return
-				}
-				continue
-			}
-			if e.Byte(respOK) != nil || e.Bytes(payload) != nil || e.Flush() != nil {
-				return
-			}
-		default:
-			return
-		}
 	}
 }
 
@@ -215,7 +312,7 @@ func (ex *Executor) StartReceiver(spec recvSpec) {
 	ex.receivers[recvKey{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index}] = r
 	ex.mu.Unlock()
 	go r.run()
-	ex.send(evReceiverReady{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index})
+	ex.send(evReceiverReady{Job: ex.job, Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index})
 }
 
 // CancelReceiver tears down a receiver during stage restarts (§3.2.6).
@@ -279,14 +376,14 @@ func (ex *Executor) runTask(spec taskSpec) {
 	outs, cached, err := ex.computeFragment(ps, frag, spec)
 	if err != nil {
 		if !ex.stopped() {
-			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: isFatal(err)})
+			ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: isFatal(err)})
 		}
 		return
 	}
 
 	// Free the slot immediately: the master can schedule the next task
 	// while the output escapes on this goroutine (§3.2.4).
-	ex.send(evTaskComputed{ref: spec.ref(), Exec: ex.id, Cached: cached})
+	ex.send(evTaskComputed{ref: ex.ref(spec), Exec: ex.id, Cached: cached})
 
 	if spec.Terminal {
 		ex.sendTerminal(ps, frag, spec, outs)
@@ -295,8 +392,11 @@ func (ex *Executor) runTask(spec taskSpec) {
 	ex.dispatchBoundaries(ps, frag, spec, outs)
 }
 
-func (spec taskSpec) ref() taskRef {
-	return taskRef{Stage: spec.Stage, Gen: spec.Gen, Frag: spec.Frag, Index: spec.Index, Attempt: spec.Attempt}
+// ref builds the job-scoped event reference for one of this executor's
+// task attempts. taskSpec itself carries no job id: the executor is the
+// job-scoped object, so it stamps its own.
+func (ex *Executor) ref(spec taskSpec) taskRef {
+	return taskRef{Job: ex.job, Stage: spec.Stage, Gen: spec.Gen, Frag: spec.Frag, Index: spec.Index, Attempt: spec.Attempt}
 }
 
 // inputFetch is one pending cross-stage input transfer of a fragment
@@ -458,7 +558,7 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 	fetch := func() ([]data.Record, error) {
 		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: part,
 			Task: part, Exec: ex.id})
-		payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
+		payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(ex.job, si.FromStage, loc.Gen, part))
 		if err != nil {
 			return nil, err
 		}
@@ -511,7 +611,7 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 		parts := make([][]data.Record, len(loc.Execs))
 		var total int64
 		err := fanout(len(loc.Execs), maxFetchWorkers, func(part int) error {
-			payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(si.FromStage, loc.Gen, part))
+			payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(ex.job, si.FromStage, loc.Gen, part))
 			if err != nil {
 				return err
 			}
@@ -562,21 +662,21 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 func (ex *Executor) sendTerminal(ps *core.PhysStage, frag *core.Fragment, spec taskSpec, outs map[dag.VertexID][]data.Record) {
 	coder, err := dataflow.OutputCoder(ex.plan.Graph.Vertex(ps.Root))
 	if err != nil {
-		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+		ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: true})
 		return
 	}
 	payload, err := data.EncodeAll(coder, outs[ps.Root])
 	if err != nil {
-		ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err, Fatal: true})
+		ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err, Fatal: true})
 		return
 	}
 	ex.tr.Emit(obs.Event{Kind: obs.PushStarted, Stage: spec.Stage, Frag: spec.Frag,
 		Task: spec.Index, Attempt: spec.Attempt, Exec: ex.id, Bytes: int64(len(payload)),
 		Note: "result"})
-	f := &resultFrame{Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index, Attempt: spec.Attempt, Payload: payload}
+	f := &resultFrame{Job: ex.job, Stage: spec.Stage, Gen: spec.Gen, Index: spec.Index, Attempt: spec.Attempt, Payload: payload}
 	if err := sendResult(ex.pool, ex.masterID, f); err != nil {
 		if !ex.stopped() {
-			ex.send(evTaskFailed{ref: spec.ref(), Exec: ex.id, Err: err})
+			ex.send(evTaskFailed{ref: ex.ref(spec), Exec: ex.id, Err: err})
 		}
 		return
 	}
@@ -735,7 +835,7 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 			continue
 		}
 		f := &pushFrame{
-			Stage: b.stage, Gen: b.gen, RecvIdx: i, Frag: b.frag,
+			Job: ex.job, Stage: b.stage, Gen: b.gen, RecvIdx: i, Frag: b.frag,
 			Cover:    cover,
 			Sections: []pushSection{{Tag: "", Aggregated: true, Payload: payloads[i]}},
 		}
@@ -757,7 +857,7 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 			}
 			for _, c := range cover {
 				ex.send(evTaskFailed{
-					ref:  taskRef{Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt},
+					ref:  taskRef{Job: ex.job, Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt},
 					Exec: ex.id, Err: err, Fatal: isFatal(err),
 				})
 			}
@@ -765,7 +865,7 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 		}
 	}
 	for _, c := range cover {
-		ex.send(evOutputCommitted{ref: taskRef{Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt}})
+		ex.send(evOutputCommitted{ref: taskRef{Job: ex.job, Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt}})
 	}
 }
 

@@ -2,8 +2,6 @@ package runtime
 
 import (
 	"context"
-	"fmt"
-	"time"
 
 	"pado/internal/cluster"
 	"pado/internal/core"
@@ -11,8 +9,6 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/metrics"
-	"pado/internal/obs"
-	"pado/internal/simnet"
 )
 
 // Result carries a finished job's terminal outputs and metrics.
@@ -28,9 +24,11 @@ type Result struct {
 }
 
 // Run compiles the logical DAG with the Pado compiler and executes it on
-// the cluster. Run owns the cluster's lifecycle: it starts the containers
-// and stops everything on return, so each cluster value runs exactly one
-// job (matching the paper's one-job-per-cluster experiments).
+// the cluster as the only job of a transient JobManager. Run owns the
+// cluster's lifecycle: it starts the containers and stops everything on
+// return, so each cluster value runs exactly one job (matching the
+// paper's one-job-per-cluster experiments). Multi-job callers use
+// NewJobManager + Submit instead.
 //
 // If ctx expires the job is abandoned and the result reports TimedOut
 // with the elapsed time, mirroring the paper's "does not finish for more
@@ -40,128 +38,44 @@ func Run(ctx context.Context, cl *cluster.Cluster, g *dag.Graph, cfg Config) (*R
 	if err != nil {
 		return nil, err
 	}
-	cfg.Tracer.Buf().Emit(obs.Event{Kind: obs.PlanCompiled, Note: plan.Policy})
 	return RunPlan(ctx, cl, plan, cfg)
 }
 
 // RunPlan executes an already compiled plan (used by ablations that
-// modify placement before running).
+// modify placement before running). It runs a single-job manager with
+// admission control disabled, preserving the classic one-master-per-job
+// behavior.
 func RunPlan(ctx context.Context, cl *cluster.Cluster, plan *core.Plan, cfg Config) (*Result, error) {
 	met := &metrics.Job{}
 	cfg.Tracer.FeedCounters(met)
-	m := newMaster(cl, plan, cfg, met)
-
-	stopCollector, err := m.startCollector()
+	jm, err := NewJobManager(cl, ManagerConfig{
+		Tracer:     cfg.Tracer,
+		Metrics:    met,
+		EventQueue: cfg.EventQueue,
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer stopCollector()
-	defer cl.Stop()
-	defer m.pool.closeAll()
-
-	if err := cl.Start(m); err != nil {
-		return nil, err
-	}
-
-	start := time.Now()
-	timedOut := false
-loop:
-	for !m.finished {
-		select {
-		case <-ctx.Done():
-			timedOut = true
-			break loop
-		case err := <-m.overflow:
-			m.abort(err)
-		case ev := <-m.events:
-			m.handle(ev)
-		}
-	}
-	jct := time.Since(start)
-
-	if m.failErr != nil {
-		return nil, m.failErr
-	}
-	res := &Result{Plan: plan, Metrics: met.Snapshot(jct, timedOut), Progress: m.snapshotProgress()}
-	if timedOut {
-		return res, nil
-	}
-
-	outputs, err := m.collectOutputs()
-	if err != nil {
-		return nil, fmt.Errorf("runtime: collecting outputs: %w", err)
-	}
-	res.Outputs = outputs
-	res.Metrics = met.Snapshot(jct, false)
-	return res, nil
-}
-
-// startCollector serves the master node's data plane: terminal transient
-// tasks push their results here.
-func (m *Master) startCollector() (func(), error) {
-	node := m.cl.MasterNode()
-	l, err := node.Listen()
+	defer jm.Close()
+	h, err := jm.SubmitPlan(plan, cfg, JobOptions{Metrics: met})
 	if err != nil {
 		return nil, err
 	}
-	stop := make(chan struct{})
-	go func() {
-		for {
-			conn, err := l.Accept(stop)
-			if err != nil {
-				return
-			}
-			go m.handleCollectorConn(conn, stop)
-		}
-	}()
-	var once func()
-	done := false
-	once = func() {
-		if !done {
-			done = true
-			close(stop)
-		}
-	}
-	return once, nil
+	return h.Wait(ctx)
 }
 
-func (m *Master) handleCollectorConn(conn *simnet.Conn, stop <-chan struct{}) {
-	defer conn.Close()
-	d := data.NewDecoder(conn)
-	e := data.NewEncoder(conn)
-	for {
-		op, err := d.Byte()
-		if err != nil {
-			return
-		}
-		if op != frameResult {
-			return
-		}
-		f, err := readResultFrame(d)
-		if err != nil {
-			return
-		}
-		select {
-		case m.events <- evResult{Stage: f.Stage, Gen: f.Gen, Index: f.Index, Attempt: f.Attempt, Payload: f.Payload}:
-		case <-stop:
-			return
-		}
-		if e.Byte(respOK) != nil || e.Flush() != nil {
-			return
-		}
-	}
-}
-
-// collectOutputs gathers terminal stage outputs: reserved stage outputs
-// are fetched from their executors over the network; terminal transient
-// results were already pushed to the collector.
-func (m *Master) collectOutputs() (map[dag.VertexID][]data.Record, error) {
+// collectOutputs gathers one finished job's terminal stage outputs:
+// reserved stage outputs are fetched from their executors over the
+// network; terminal transient results were already pushed to the
+// collector. Runs on a per-job goroutine after the job leaves the event
+// loop, so j's state is no longer mutated concurrently.
+func (jm *JobManager) collectOutputs(j *jobRun) (map[dag.VertexID][]data.Record, error) {
 	out := make(map[dag.VertexID][]data.Record)
-	for _, s := range m.stages {
+	for _, s := range j.stages {
 		if !s.ps.Terminal() {
 			continue
 		}
-		root := m.plan.Graph.Vertex(s.ps.Root)
+		root := j.plan.Graph.Vertex(s.ps.Root)
 		coder, err := dataflow.OutputCoder(root)
 		if err != nil {
 			return nil, err
@@ -169,11 +83,11 @@ func (m *Master) collectOutputs() (map[dag.VertexID][]data.Record, error) {
 		var recs []data.Record
 		if s.ps.RootReserved {
 			for part, exID := range s.outputExecs {
-				payload, err := fetchBlock(m.pool, exID, stageBlockID(s.ps.ID, s.gen, part))
+				payload, err := fetchBlock(jm.pool, exID, stageBlockID(j.id, s.ps.ID, s.gen, part))
 				if err != nil {
 					return nil, err
 				}
-				m.met.BytesFetched.Add(int64(len(payload)))
+				j.met.BytesFetched.Add(int64(len(payload)))
 				part, err := data.DecodeAll(coder, payload)
 				if err != nil {
 					return nil, err

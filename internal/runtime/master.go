@@ -11,55 +11,15 @@ import (
 	"pado/internal/core"
 	"pado/internal/dag"
 	"pado/internal/dataflow"
-	"pado/internal/metrics"
 	"pado/internal/obs"
-	"pado/internal/simnet"
 )
 
-// Master orchestrates one job (§3.2): it owns the container manager role
-// (tracking executors by kind), the task scheduler (reserved tasks first,
-// then transient tasks, round-robin with cache awareness), the commit
-// relay of the eviction-tolerance protocol, and the recovery logic for
-// reserved-container failures.
-type Master struct {
-	cfg  Config
-	plan *core.Plan
-	cl   *cluster.Cluster
-	net  *simnet.Network
-	met  *metrics.Job
-	tr   *obs.Buf // event-loop-confined trace buffer (nil = tracing off)
-	// pool reuses master-originated data-plane connections (progress
-	// replication, output collection).
-	pool *connPool
-
-	events chan event
-	// overflow carries the first "event queue full" error out of the
-	// cluster callbacks; the run loop turns it into a loud abort.
-	overflow chan error
-
-	// Event-loop-confined state.
-	execs          map[string]*Executor
-	kinds          map[string]cluster.Kind
-	slotsFree      map[string]int
-	transientOrder []string
-	reservedOrder  []string
-	rrTask         int
-	rrRecv         int
-	stages         []*stageRun
-	assignments    map[taskRef]string // outstanding slot holders
-	cacheIndex     map[cacheKey]map[string]bool
-
-	// recvActive/recvPeak track concurrent live reserved tasks
-	// (receivers) so reserved-slot pressure against the placement
-	// policy's budget is observable ("reserved_slots_peak").
-	recvActive int
-	recvPeak   int
-
-	allowReservedFrag bool
-	finished          bool
-	failErr           error
-	t0                time.Time
-}
+// This file holds the per-job half of the JobManager (manager.go holds
+// the resident service: admission, the event loop, and job lifecycle).
+// Each handler below is the §3.2 master logic — scheduling, the commit
+// relay, eviction tolerance, reserved-failure recovery — applied to one
+// jobRun's stage state, with the fleet (hosts, slots, round-robin
+// cursors) shared across jobs.
 
 // Task and stage state machines.
 type taskState int
@@ -120,204 +80,145 @@ const relaunchableState = tCommitted
 
 var debugStages = os.Getenv("PADO_DEBUG") != ""
 
-func newMaster(cl *cluster.Cluster, plan *core.Plan, cfg Config, met *metrics.Job) *Master {
-	m := &Master{
-		t0:          time.Now(),
-		cfg:         cfg,
-		plan:        plan,
-		cl:          cl,
-		net:         cl.Net(),
-		met:         met,
-		tr:          cfg.Tracer.Buf(),
-		events:      make(chan event, cfg.eventQueue()),
-		overflow:    make(chan error, 1),
-		execs:       make(map[string]*Executor),
-		kinds:       make(map[string]cluster.Kind),
-		slotsFree:   make(map[string]int),
-		assignments: make(map[taskRef]string),
-		cacheIndex:  make(map[cacheKey]map[string]bool),
-	}
-	m.pool = newConnPool(m.net, "master", met)
-	m.stages = make([]*stageRun, len(plan.Stages))
-	for i, ps := range plan.Stages {
-		m.stages[i] = &stageRun{ps: ps}
-	}
-	if b := cfg.Plan.Env.ReservedSlotBudget; b > 0 {
-		met.Counter("reserved_slots_budget").Store(int64(b))
-	}
-	return m
-}
-
-// trackReceivers adjusts the live reserved-task count and records the
-// high-water mark.
-func (m *Master) trackReceivers(delta int) {
-	m.recvActive += delta
-	if m.recvActive > m.recvPeak {
-		m.recvPeak = m.recvActive
-		m.met.Counter("reserved_slots_peak").Store(int64(m.recvPeak))
+// trackReceivers adjusts one job's live reserved-task count and records
+// the high-water mark.
+func (jm *JobManager) trackReceivers(j *jobRun, delta int) {
+	j.recvActive += delta
+	if j.recvActive > j.recvPeak {
+		j.recvPeak = j.recvActive
+		j.met.Counter("reserved_slots_peak").Store(int64(j.recvPeak))
 	}
 }
 
-// Cluster listener: callbacks convert to events. These run on cluster
-// goroutines whose contract says they must not block, so a full event
-// queue fails loudly (dropping the event and flagging the job) instead
-// of deadlocking the cluster.
-func (m *Master) ContainerLaunched(c *cluster.Container) { m.postClusterEvent(evContainerLaunched{C: c}) }
-func (m *Master) ContainerEvicted(c *cluster.Container)  { m.postClusterEvent(evContainerEvicted{C: c}) }
-func (m *Master) ContainerFailed(c *cluster.Container)   { m.postClusterEvent(evContainerFailed{C: c}) }
-
-// postClusterEvent enqueues a cluster-originated event without ever
-// blocking. A dropped container event would leave the master's view of
-// the cluster permanently wrong, so overflow counts in metrics
-// ("event_queue_overflow") and aborts the job via the overflow channel
-// rather than limping along.
-func (m *Master) postClusterEvent(ev event) {
-	select {
-	case m.events <- ev:
-	default:
-		m.met.Counter("event_queue_overflow").Add(1)
-		select {
-		case m.overflow <- fmt.Errorf("runtime: master event queue full (cap %d), dropped %T", cap(m.events), ev):
-		default:
-		}
+func (jm *JobManager) abort(j *jobRun, err error) {
+	if j.failErr == nil && !j.finished {
+		j.failErr = err
+		j.tr.Emit(obs.Event{Kind: obs.JobAborted, Note: err.Error()})
 	}
+	j.finished = true
 }
 
-func (m *Master) abort(err error) {
-	if m.failErr == nil {
-		m.failErr = err
-		m.tr.Emit(obs.Event{Kind: obs.JobAborted, Note: err.Error()})
-	}
-	m.finished = true
-}
+// Fleet-level container lifecycle.
 
-// handle processes one event and then advances scheduling.
-func (m *Master) handle(ev event) {
-	switch e := ev.(type) {
-	case evContainerLaunched:
-		m.onLaunched(e.C)
-	case evContainerEvicted:
-		m.onEvicted(e.C)
-	case evContainerFailed:
-		m.onFailed(e.C)
-	case evReceiverReady:
-		m.onReceiverReady(e)
-	case evReceiverFailed:
-		m.onReceiverFailed(e)
-	case evTaskComputed:
-		m.onTaskComputed(e)
-	case evOutputCommitted:
-		m.onOutputCommitted(e)
-	case evTaskFailed:
-		m.onTaskFailed(e)
-	case evPullFailed:
-		m.onPullFailed(e)
-	case evReservedTaskDone:
-		m.onReservedTaskDone(e)
-	case evResult:
-		m.onResult(e)
-	}
-	if !m.finished {
-		m.schedule()
-	}
-}
-
-func (m *Master) onLaunched(c *cluster.Container) {
-	ex, err := newExecutor(c, m.net, m.plan, m.cfg, m.met, m.events, "master")
+func (jm *JobManager) onLaunched(c *cluster.Container) {
+	h, err := newNodeHost(c)
 	if err != nil {
 		// The container raced its own eviction; a replacement follows.
 		return
 	}
-	m.tr.Emit(obs.Event{Kind: obs.ContainerUp, Exec: c.ID, Note: c.Kind.String()})
-	m.execs[c.ID] = ex
-	m.kinds[c.ID] = c.Kind
-	m.slotsFree[c.ID] = c.Slots
+	jm.tr.Emit(obs.Event{Kind: obs.ContainerUp, Exec: c.ID, Note: c.Kind.String()})
+	jm.hosts[c.ID] = h
+	jm.kinds[c.ID] = c.Kind
+	jm.slotsFree[c.ID] = c.Slots
 	if c.Kind == cluster.Transient {
-		m.transientOrder = append(m.transientOrder, c.ID)
+		jm.transientOrder = append(jm.transientOrder, c.ID)
 	} else {
-		m.reservedOrder = append(m.reservedOrder, c.ID)
+		jm.reservedOrder = append(jm.reservedOrder, c.ID)
+	}
+	// Every admitted job gets an executor on the new container.
+	for _, id := range jm.order {
+		jm.attachExecutor(jm.jobs[id], h)
 	}
 }
 
-func (m *Master) dropExecutor(id string) {
-	if ex := m.execs[id]; ex != nil {
-		ex.shutdown()
+func (jm *JobManager) dropHost(id string) {
+	if h := jm.hosts[id]; h != nil {
+		h.shutdown()
 	}
-	delete(m.execs, id)
-	delete(m.kinds, id)
-	delete(m.slotsFree, id)
-	m.transientOrder = slices.DeleteFunc(m.transientOrder, func(x string) bool { return x == id })
-	m.reservedOrder = slices.DeleteFunc(m.reservedOrder, func(x string) bool { return x == id })
-	for key, set := range m.cacheIndex {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(m.cacheIndex, key)
+	delete(jm.hosts, id)
+	delete(jm.kinds, id)
+	delete(jm.slotsFree, id)
+	jm.transientOrder = slices.DeleteFunc(jm.transientOrder, func(x string) bool { return x == id })
+	jm.reservedOrder = slices.DeleteFunc(jm.reservedOrder, func(x string) bool { return x == id })
+	for _, jid := range jm.order {
+		j := jm.jobs[jid]
+		delete(j.execs, id)
+		for key, set := range j.cacheIndex {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(j.cacheIndex, key)
+			}
 		}
 	}
-	for ref, exec := range m.assignments {
+	for ref, exec := range jm.assignments {
 		if exec == id {
-			delete(m.assignments, ref)
+			delete(jm.assignments, ref)
 		}
 	}
 }
 
-// onEvicted implements §3.2.5: only the uncommitted tasks that were
-// scheduled on the evicted executor are relaunched; parent stages are
-// never recomputed.
-func (m *Master) onEvicted(c *cluster.Container) {
-	m.met.Evictions.Add(1)
-	m.tr.Emit(obs.Event{Kind: obs.ContainerEvicted, Exec: c.ID})
-	m.dropExecutor(c.ID)
-	for _, s := range m.stages {
-		if s.status != sRunning && s.status != sStartingReceivers {
-			continue
-		}
-		for fi, fr := range s.frags {
-			for ti, t := range fr.tasks {
-				if t.exec == c.ID && t.state != tWaiting && t.state != tCommitted {
-					m.requeue(t)
-					m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID,
-						Frag: fi, Task: ti, Attempt: t.attempt, Exec: c.ID})
+// onEvicted implements §3.2.5 for every admitted job: only the
+// uncommitted tasks that were scheduled on the evicted executor are
+// relaunched; parent stages are never recomputed.
+func (jm *JobManager) onEvicted(c *cluster.Container) {
+	// Evictions are only traced and counted while someone is running:
+	// the resident manager outlives its jobs, and an eviction in an idle
+	// cell perturbs nobody (the old per-job master stopped observing at
+	// job completion; this keeps trace counts aligned with job metrics).
+	if len(jm.order) > 0 {
+		jm.tr.Emit(obs.Event{Kind: obs.ContainerEvicted, Exec: c.ID})
+	}
+	jm.dropHost(c.ID)
+	for _, id := range jm.order {
+		j := jm.jobs[id]
+		j.met.Evictions.Add(1)
+		for _, s := range j.stages {
+			if s.status != sRunning && s.status != sStartingReceivers {
+				continue
+			}
+			for fi, fr := range s.frags {
+				for ti, t := range fr.tasks {
+					if t.exec == c.ID && t.state != tWaiting && t.state != tCommitted {
+						jm.requeue(j, t)
+						j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID,
+							Frag: fi, Task: ti, Attempt: t.attempt, Exec: c.ID})
+					}
 				}
 			}
 		}
 	}
 }
 
-func (m *Master) requeue(t *taskRun) {
+func (jm *JobManager) requeue(j *jobRun, t *taskRun) {
 	t.state = tWaiting
 	t.exec = ""
 	t.attempt++
-	m.met.RelaunchedTasks.Add(1)
+	j.met.RelaunchedTasks.Add(1)
 }
 
-// onFailed implements §3.2.6: identify stages whose intermediate results
-// were lost with the reserved container, pause dependents, and recompute
-// in topological order (via the normal pending-stage scheduling).
-func (m *Master) onFailed(c *cluster.Container) {
-	m.tr.Emit(obs.Event{Kind: obs.ContainerFailed, Exec: c.ID})
-	m.dropExecutor(c.ID)
-
-	lost := make(map[int]bool)
-	for _, s := range m.stages {
-		if s.status == sDone && slices.Contains(s.outputExecs, c.ID) {
-			lost[s.ps.ID] = true
-		}
+// onFailed implements §3.2.6 for every admitted job: identify stages
+// whose intermediate results were lost with the reserved container,
+// pause dependents, and recompute in topological order (via the normal
+// pending-stage scheduling).
+func (jm *JobManager) onFailed(c *cluster.Container) {
+	if len(jm.order) > 0 {
+		jm.tr.Emit(obs.Event{Kind: obs.ContainerFailed, Exec: c.ID})
 	}
-	for _, s := range m.stages {
-		restart := lost[s.ps.ID]
-		if s.status == sRunning || s.status == sStartingReceivers {
-			if slices.Contains(s.recvExecs, c.ID) {
-				restart = true
+	jm.dropHost(c.ID)
+
+	for _, id := range jm.order {
+		j := jm.jobs[id]
+		lost := make(map[int]bool)
+		for _, s := range j.stages {
+			if s.status == sDone && slices.Contains(s.outputExecs, c.ID) {
+				lost[s.ps.ID] = true
 			}
-			for _, pid := range s.ps.Parents {
-				if lost[pid] {
+		}
+		for _, s := range j.stages {
+			restart := lost[s.ps.ID]
+			if s.status == sRunning || s.status == sStartingReceivers {
+				if slices.Contains(s.recvExecs, c.ID) {
 					restart = true
 				}
+				for _, pid := range s.ps.Parents {
+					if lost[pid] {
+						restart = true
+					}
+				}
 			}
-		}
-		if restart {
-			m.resetStage(s)
+			if restart {
+				jm.resetStage(j, s)
+			}
 		}
 	}
 }
@@ -325,13 +226,13 @@ func (m *Master) onFailed(c *cluster.Container) {
 // resetStage returns a stage to pending so scheduling recomputes it under
 // a fresh generation. Receivers still alive are canceled; in-flight tasks
 // keep running but their events carry a stale generation and are dropped.
-func (m *Master) resetStage(s *stageRun) {
+func (jm *JobManager) resetStage(j *jobRun, s *stageRun) {
 	for idx, e := range s.recvExecs {
-		if ex := m.execs[e]; ex != nil {
+		if ex := j.execs[e]; ex != nil {
 			ex.CancelReceiver(s.ps.ID, s.gen, idx)
 		}
 		if !s.recvDone[idx] {
-			m.trackReceivers(-1)
+			jm.trackReceivers(j, -1)
 		}
 	}
 	s.status = sPending
@@ -345,25 +246,25 @@ func (m *Master) resetStage(s *stageRun) {
 	s.outputExecs = nil
 	s.results = nil
 	s.nResults = 0
-	if max := m.cfg.maxStageRestarts(); s.restarts > max {
-		m.abort(fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, max))
+	if max := j.cfg.maxStageRestarts(); s.restarts > max {
+		jm.abort(j, fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, max))
 	}
 }
 
 // stage lookups with generation validation.
-func (m *Master) stageAt(id, gen int) *stageRun {
-	if id < 0 || id >= len(m.stages) {
+func (jm *JobManager) stageAt(j *jobRun, id, gen int) *stageRun {
+	if id < 0 || id >= len(j.stages) {
 		return nil
 	}
-	s := m.stages[id]
+	s := j.stages[id]
 	if s.gen != gen {
 		return nil
 	}
 	return s
 }
 
-func (m *Master) taskAt(ref taskRef) (*stageRun, *taskRun) {
-	s := m.stageAt(ref.Stage, ref.Gen)
+func (jm *JobManager) taskAt(j *jobRun, ref taskRef) (*stageRun, *taskRun) {
+	s := jm.stageAt(j, ref.Stage, ref.Gen)
 	if s == nil || ref.Frag >= len(s.frags) {
 		return nil, nil
 	}
@@ -378,78 +279,78 @@ func (m *Master) taskAt(ref taskRef) (*stageRun, *taskRun) {
 	return s, t
 }
 
-func (m *Master) freeSlot(ref taskRef) {
-	if exec, ok := m.assignments[ref]; ok {
-		delete(m.assignments, ref)
-		if _, alive := m.slotsFree[exec]; alive {
-			m.slotsFree[exec]++
+func (jm *JobManager) freeSlot(ref taskRef) {
+	if exec, ok := jm.assignments[ref]; ok {
+		delete(jm.assignments, ref)
+		if _, alive := jm.slotsFree[exec]; alive {
+			jm.slotsFree[exec]++
 		}
 	}
 }
 
-func (m *Master) onReceiverReady(e evReceiverReady) {
-	s := m.stageAt(e.Stage, e.Gen)
+func (jm *JobManager) onReceiverReady(j *jobRun, e evReceiverReady) {
+	s := jm.stageAt(j, e.Stage, e.Gen)
 	if s == nil || s.status != sStartingReceivers || s.recvReady[e.Index] {
 		return
 	}
 	s.recvReady[e.Index] = true
 	s.nReady++
-	m.tr.Emit(obs.Event{Kind: obs.ReceiverReady, Stage: s.ps.ID, Frag: obs.ReservedFrag,
+	j.tr.Emit(obs.Event{Kind: obs.ReceiverReady, Stage: s.ps.ID, Frag: obs.ReservedFrag,
 		Task: e.Index, Exec: s.recvExecs[e.Index]})
 	if s.nReady == len(s.recvExecs) {
 		s.status = sRunning
 	}
 }
 
-func (m *Master) onReceiverFailed(e evReceiverFailed) {
+func (jm *JobManager) onReceiverFailed(j *jobRun, e evReceiverFailed) {
 	if e.Fatal {
-		m.abort(fmt.Errorf("runtime: reserved task %d/%d failed: %w", e.Stage, e.Index, e.Err))
+		jm.abort(j, fmt.Errorf("runtime: reserved task %d/%d failed: %w", e.Stage, e.Index, e.Err))
 		return
 	}
-	s := m.stageAt(e.Stage, e.Gen)
+	s := jm.stageAt(j, e.Stage, e.Gen)
 	if s == nil || s.status == sDone {
 		return
 	}
-	m.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: obs.ReservedFrag,
+	j.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: obs.ReservedFrag,
 		Task: e.Index, Note: e.Err.Error()})
-	m.resetStage(s)
+	jm.resetStage(j, s)
 }
 
-func (m *Master) onTaskComputed(e evTaskComputed) {
-	m.freeSlot(e.ref)
+func (jm *JobManager) onTaskComputed(j *jobRun, e evTaskComputed) {
+	jm.freeSlot(e.ref)
 	for _, key := range e.Cached {
-		set := m.cacheIndex[key]
+		set := j.cacheIndex[key]
 		if set == nil {
 			set = make(map[string]bool)
-			m.cacheIndex[key] = set
+			j.cacheIndex[key] = set
 		}
 		set[e.Exec] = true
 	}
-	s, t := m.taskAt(e.ref)
+	s, t := jm.taskAt(j, e.ref)
 	if t == nil || t.state != tRunning {
 		return
 	}
 	t.state = tComputed
-	m.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: e.ref.Frag,
+	j.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: e.Exec})
 }
 
-func (m *Master) onOutputCommitted(e evOutputCommitted) {
-	s, t := m.taskAt(e.ref)
+func (jm *JobManager) onOutputCommitted(j *jobRun, e evOutputCommitted) {
+	s, t := jm.taskAt(j, e.ref)
 	if s == nil || t == nil || t.state == tCommitted || t.state == tWaiting {
 		return
 	}
 	t.state = tCommitted
 	fr := s.frags[e.ref.Frag]
 	fr.nCommitted++
-	m.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: e.ref.Frag,
+	j.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec})
 	// Relay the commit to every receiver of the stage (§3.2.5). The
 	// chaos hook may delay or duplicate individual relays; receivers'
 	// attempt tracking must make duplicates harmless and delays at worst
 	// slow (stale generations are dropped on arrival).
 	for idx, exID := range s.recvExecs {
-		ex := m.execs[exID]
+		ex := j.execs[exID]
 		if ex == nil {
 			continue
 		}
@@ -457,8 +358,8 @@ func (m *Master) onOutputCommitted(e evOutputCommitted) {
 		stage, gen := s.ps.ID, s.gen
 		var delay time.Duration
 		dups := 0
-		if m.cfg.Chaos != nil {
-			delay, dups = m.cfg.Chaos.CommitRelay(stage, e.ref.Frag, e.ref.Index, e.ref.Attempt, idx)
+		if j.cfg.Chaos != nil {
+			delay, dups = j.cfg.Chaos.CommitRelay(j.id, stage, e.ref.Frag, e.ref.Index, e.ref.Attempt, idx)
 		}
 		send := func() {
 			for i := 0; i <= dups; i++ {
@@ -473,66 +374,66 @@ func (m *Master) onOutputCommitted(e evOutputCommitted) {
 	}
 }
 
-func (m *Master) onTaskFailed(e evTaskFailed) {
-	m.freeSlot(e.ref)
+func (jm *JobManager) onTaskFailed(j *jobRun, e evTaskFailed) {
+	jm.freeSlot(e.ref)
 	if e.Fatal {
-		m.abort(fmt.Errorf("runtime: task %v failed: %w", e.ref, e.Err))
+		jm.abort(j, fmt.Errorf("runtime: task %v failed: %w", e.ref, e.Err))
 		return
 	}
-	s, t := m.taskAt(e.ref)
+	s, t := jm.taskAt(j, e.ref)
 	if s == nil || t == nil || t.state == tWaiting || t.state == tCommitted {
 		return
 	}
 	t.fails++
-	if max := m.cfg.maxTaskFailures(); t.fails > max {
-		m.abort(fmt.Errorf("runtime: task %v failed %d times, last: %w", e.ref, t.fails, e.Err))
+	if max := j.cfg.maxTaskFailures(); t.fails > max {
+		jm.abort(j, fmt.Errorf("runtime: task %v failed %d times, last: %w", e.ref, t.fails, e.Err))
 		return
 	}
-	m.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: e.ref.Frag,
+	j.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec, Note: e.Err.Error()})
-	m.requeue(t)
-	m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
+	jm.requeue(j, t)
+	j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: t.attempt})
 }
 
-func (m *Master) onPullFailed(e evPullFailed) {
-	s, t := m.taskAt(e.ref)
+func (jm *JobManager) onPullFailed(j *jobRun, e evPullFailed) {
+	s, t := jm.taskAt(j, e.ref)
 	if s == nil || t == nil {
 		return
 	}
 	if t.state == tCommitted {
 		s.frags[e.ref.Frag].nCommitted--
 	}
-	m.requeue(t)
-	m.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
+	jm.requeue(j, t)
+	j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: t.attempt, Note: "pull_failed"})
 }
 
-func (m *Master) onReservedTaskDone(e evReservedTaskDone) {
-	s := m.stageAt(e.Stage, e.Gen)
+func (jm *JobManager) onReservedTaskDone(j *jobRun, e evReservedTaskDone) {
+	s := jm.stageAt(j, e.Stage, e.Gen)
 	if s == nil || s.status != sRunning || s.recvDone[e.Index] {
 		return
 	}
 	s.recvDone[e.Index] = true
 	s.nDone++
-	m.trackReceivers(-1)
-	m.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: obs.ReservedFrag,
+	jm.trackReceivers(j, -1)
+	j.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: obs.ReservedFrag,
 		Task: e.Index, Exec: s.recvExecs[e.Index], Bytes: e.Bytes})
 	if s.nDone == len(s.recvExecs) {
 		s.status = sDone
 		s.outputExecs = append([]string(nil), s.recvExecs...)
-		m.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
-		m.replicateProgress()
+		j.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
+		jm.replicateProgress(j)
 		if debugStages {
-			log.Printf("pado: stage %d (%s) done at %v", s.ps.ID,
-				m.plan.Graph.Vertex(s.ps.Root).Name, time.Since(m.t0).Round(time.Millisecond))
+			log.Printf("pado: job %d stage %d (%s) done at %v", j.id, s.ps.ID,
+				j.plan.Graph.Vertex(s.ps.Root).Name, time.Since(j.t0).Round(time.Millisecond))
 		}
-		m.checkAllDone()
+		jm.checkAllDone(j)
 	}
 }
 
-func (m *Master) onResult(e evResult) {
-	s := m.stageAt(e.Stage, e.Gen)
+func (jm *JobManager) onResult(j *jobRun, e evResult) {
+	s := jm.stageAt(j, e.Stage, e.Gen)
 	if s == nil || s.status != sRunning || s.ps.RootReserved {
 		return
 	}
@@ -544,49 +445,56 @@ func (m *Master) onResult(e evResult) {
 	t.state = tCommitted
 	s.results[e.Index] = e.Payload
 	s.nResults++
-	m.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: s.ps.RootFragment,
+	j.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: s.ps.RootFragment,
 		Task: e.Index, Attempt: e.Attempt, Exec: t.exec, Bytes: int64(len(e.Payload)),
 		Note: "result"})
 	if s.nResults == len(fr.tasks) {
 		s.status = sDone
-		m.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
-		m.replicateProgress()
-		m.checkAllDone()
+		j.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
+		jm.replicateProgress(j)
+		jm.checkAllDone(j)
 	}
 }
 
-func (m *Master) checkAllDone() {
-	for _, s := range m.stages {
+func (jm *JobManager) checkAllDone(j *jobRun) {
+	for _, s := range j.stages {
 		if s.status != sDone {
 			return
 		}
 	}
-	m.finished = true
+	j.finished = true
 }
 
-// schedule starts pending stages whose parents completed and assigns
-// waiting tasks to executors.
-func (m *Master) schedule() {
-	for _, s := range m.stages {
-		if s.status == sPending && m.parentsDone(s) {
-			m.startStage(s)
+// scheduleAll starts pending stages whose parents completed (per job, in
+// admission order) and then assigns waiting tasks across jobs with the
+// weighted-fair scheduler.
+func (jm *JobManager) scheduleAll() {
+	for _, id := range jm.order {
+		j := jm.jobs[id]
+		if j.finished {
+			continue
+		}
+		for _, s := range j.stages {
+			if s.status == sPending && jm.parentsDone(j, s) {
+				jm.startStage(j, s)
+			}
 		}
 	}
-	m.assignTasks()
+	jm.assignTasks()
 }
 
-func (m *Master) parentsDone(s *stageRun) bool {
+func (jm *JobManager) parentsDone(j *jobRun, s *stageRun) bool {
 	for _, pid := range s.ps.Parents {
-		if m.stages[pid].status != sDone {
+		if j.stages[pid].status != sDone {
 			return false
 		}
 	}
 	return true
 }
 
-func (m *Master) startStage(s *stageRun) {
+func (jm *JobManager) startStage(j *jobRun, s *stageRun) {
 	ps := s.ps
-	if ps.RootReserved && len(m.reservedOrder) == 0 {
+	if ps.RootReserved && len(jm.reservedOrder) == 0 {
 		return // wait for a reserved container
 	}
 	s.gen++
@@ -594,7 +502,7 @@ func (m *Master) startStage(s *stageRun) {
 	if s.restarts > 0 {
 		note = fmt.Sprintf("restart %d", s.restarts)
 	}
-	m.tr.Emit(obs.Event{Kind: obs.StageScheduled, Stage: ps.ID, Attempt: s.restarts, Note: note})
+	j.tr.Emit(obs.Event{Kind: obs.StageScheduled, Stage: ps.ID, Attempt: s.restarts, Note: note})
 	s.frags = make([]*fragRun, len(ps.Fragments))
 	total := 0
 	for i, f := range ps.Fragments {
@@ -613,27 +521,27 @@ func (m *Master) startStage(s *stageRun) {
 		s.recvDone = make([]bool, r)
 		s.nReady, s.nDone = 0, 0
 		for i := 0; i < r; i++ {
-			s.recvExecs[i] = m.reservedOrder[m.rrRecv%len(m.reservedOrder)]
-			m.rrRecv++
+			s.recvExecs[i] = jm.reservedOrder[jm.rrRecv%len(jm.reservedOrder)]
+			jm.rrRecv++
 		}
 		total += r
 		expected := 0
 		for _, f := range ps.Fragments {
 			expected += f.Parallelism
 		}
-		locs := m.inputLocsFor(ps)
+		locs := jm.inputLocsFor(j, ps)
 		// Reserved tasks are scheduled and set up first so they can
 		// receive pushed outputs (§3.2.3).
 		s.status = sStartingReceivers
-		m.trackReceivers(r)
+		jm.trackReceivers(j, r)
 		for i := 0; i < r; i++ {
-			m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: ps.ID, Frag: obs.ReservedFrag,
+			j.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: ps.ID, Frag: obs.ReservedFrag,
 				Task: i, Exec: s.recvExecs[i]})
-			m.execs[s.recvExecs[i]].StartReceiver(recvSpec{
+			j.execs[s.recvExecs[i]].StartReceiver(recvSpec{
 				Stage: ps.ID, Gen: s.gen, Index: i,
 				Expected:  expected,
 				InputLocs: locs,
-				PullMode:  m.cfg.PullBoundaries,
+				PullMode:  j.cfg.PullBoundaries,
 			})
 		}
 	} else {
@@ -643,84 +551,179 @@ func (m *Master) startStage(s *stageRun) {
 	}
 
 	if s.gen == 1 {
-		m.met.OriginalTasks.Add(int64(total))
+		j.met.OriginalTasks.Add(int64(total))
 	} else {
-		m.met.RelaunchedTasks.Add(int64(total))
+		j.met.RelaunchedTasks.Add(int64(total))
 	}
 }
 
-func (m *Master) inputLocsFor(ps *core.PhysStage) map[int]stageLoc {
+func (jm *JobManager) inputLocsFor(j *jobRun, ps *core.PhysStage) map[int]stageLoc {
 	locs := make(map[int]stageLoc)
 	for _, si := range ps.Inputs {
 		if _, ok := locs[si.FromStage]; ok {
 			continue
 		}
-		p := m.stages[si.FromStage]
+		p := j.stages[si.FromStage]
 		locs[si.FromStage] = stageLoc{Gen: p.gen, Execs: append([]string(nil), p.outputExecs...)}
 	}
 	return locs
 }
 
-// assignTasks hands waiting fragment tasks to executors: cache-preferred
-// placement first, then round-robin over free slots (§3.2.3).
-func (m *Master) assignTasks() {
-	pool := m.transientOrder
-	if len(pool) == 0 && (m.allowReservedFrag || m.cl.TransientConfigured() == 0) {
-		pool = m.reservedOrder
+// maxDeficitRounds caps how much unused scheduling credit a job may
+// bank, in multiples of its weight, so a job that was slot-starved for a
+// while cannot later monopolize the fleet in one burst.
+const maxDeficitRounds = 4
+
+// pendingTask locates one waiting fragment task.
+type pendingTask struct {
+	s      *stageRun
+	fi, ti int
+}
+
+// jobQueue is one job's runnable-task queue for a scheduling round.
+type jobQueue struct {
+	j     *jobRun
+	tasks []pendingTask
+	next  int
+}
+
+// assignTasks hands waiting fragment tasks to executors. With a single
+// runnable job it degenerates to the classic greedy pass:
+// cache-preferred placement first, then round-robin over free slots
+// (§3.2.3). With several admitted jobs it runs deficit-weighted
+// round-robin across their task queues: each visit credits a job's
+// deficit by its weight and launches one task per whole credit, so slots
+// divide proportionally to weight and a large job cannot starve a small
+// one. Unspent credit (no free slot, or weight < 1) carries to the next
+// round, capped at weight*maxDeficitRounds.
+func (jm *JobManager) assignTasks() {
+	pool := jm.transientOrder
+	if len(pool) == 0 && jm.cl.TransientConfigured() == 0 {
+		pool = jm.reservedOrder
 	}
 	if len(pool) == 0 {
 		return
 	}
-	for _, s := range m.stages {
-		if s.status != sRunning {
+
+	var queues []*jobQueue
+	for _, id := range jm.order {
+		j := jm.jobs[id]
+		if j.finished {
 			continue
 		}
-		locs := m.inputLocsFor(s.ps)
-		for fi, fr := range s.frags {
-			frag := s.ps.Fragments[fi]
-			for ti, t := range fr.tasks {
-				if t.state != tWaiting {
-					continue
+		var tasks []pendingTask
+		for _, s := range j.stages {
+			if s.status != sRunning {
+				continue
+			}
+			for fi, fr := range s.frags {
+				for ti, t := range fr.tasks {
+					if t.state == tWaiting {
+						tasks = append(tasks, pendingTask{s: s, fi: fi, ti: ti})
+					}
 				}
-				exec := m.pickExecutor(pool, s.ps, frag, ti)
-				if exec == "" {
-					return // no free slots anywhere
-				}
-				t.state = tRunning
-				t.exec = exec
-				m.slotsFree[exec]--
-				m.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Frag: fi,
-					Task: ti, Attempt: t.attempt, Exec: exec})
-				ref := taskRef{Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt}
-				m.assignments[ref] = exec
-				m.execs[exec].Launch(taskSpec{
-					Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt,
-					InputLocs: locs,
-					Receivers: append([]string(nil), s.recvExecs...),
-					Terminal:  !s.ps.RootReserved,
-				})
 			}
 		}
+		if len(tasks) > 0 {
+			queues = append(queues, &jobQueue{j: j, tasks: tasks})
+		}
 	}
+	if len(queues) == 0 {
+		return
+	}
+	locs := make(map[*stageRun]map[int]stageLoc)
+
+	if len(queues) == 1 {
+		// Single runnable job: no fairness to arbitrate.
+		q := queues[0]
+		q.j.deficit = 0
+		for _, p := range q.tasks {
+			if !jm.launchPending(q.j, p, pool, locs) {
+				return // no free slots anywhere
+			}
+		}
+		return
+	}
+
+	idle := 0
+	for idle < len(queues) {
+		q := queues[jm.rrJob%len(queues)]
+		jm.rrJob++
+		if q.next >= len(q.tasks) {
+			q.j.deficit = 0
+			idle++
+			continue
+		}
+		q.j.deficit += q.j.weight
+		if limit := q.j.weight * maxDeficitRounds; q.j.deficit > limit {
+			q.j.deficit = limit
+		}
+		progressed := false
+		for q.j.deficit >= 1 && q.next < len(q.tasks) {
+			p := q.tasks[q.next]
+			if !jm.launchPending(q.j, p, pool, locs) {
+				return // no free slots anywhere; credit persists
+			}
+			q.j.deficit--
+			q.next++
+			progressed = true
+		}
+		if progressed {
+			idle = 0
+		}
+	}
+}
+
+// launchPending launches one waiting task if a slot is free; it reports
+// false only when the whole fleet is out of slots.
+func (jm *JobManager) launchPending(j *jobRun, p pendingTask, pool []string, locsCache map[*stageRun]map[int]stageLoc) bool {
+	s := p.s
+	t := s.frags[p.fi].tasks[p.ti]
+	if t.state != tWaiting {
+		return true
+	}
+	exec := jm.pickExecutor(j, pool, s.ps, s.ps.Fragments[p.fi], p.ti)
+	if exec == "" {
+		return false
+	}
+	locs := locsCache[s]
+	if locs == nil {
+		locs = jm.inputLocsFor(j, s.ps)
+		locsCache[s] = locs
+	}
+	t.state = tRunning
+	t.exec = exec
+	jm.slotsFree[exec]--
+	j.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Frag: p.fi,
+		Task: p.ti, Attempt: t.attempt, Exec: exec})
+	ref := taskRef{Job: j.id, Stage: s.ps.ID, Gen: s.gen, Frag: p.fi, Index: p.ti, Attempt: t.attempt}
+	jm.assignments[ref] = exec
+	j.execs[exec].Launch(taskSpec{
+		Stage: s.ps.ID, Gen: s.gen, Frag: p.fi, Index: p.ti, Attempt: t.attempt,
+		InputLocs: locs,
+		Receivers: append([]string(nil), s.recvExecs...),
+		Terminal:  !s.ps.RootReserved,
+	})
+	return true
 }
 
 // pickExecutor prefers an executor that has any of the task's cacheable
 // inputs cached (§3.2.7 cache-aware scheduling), then falls back to
 // round-robin over executors with free slots.
-func (m *Master) pickExecutor(pool []string, ps *core.PhysStage, frag *core.Fragment, taskIdx int) string {
-	if !m.cfg.DisableCache {
-		for _, key := range taskCacheKeys(m.plan, ps, frag, taskIdx) {
-			for exID := range m.cacheIndex[key] {
-				if m.slotsFree[exID] > 0 && slices.Contains(pool, exID) {
+func (jm *JobManager) pickExecutor(j *jobRun, pool []string, ps *core.PhysStage, frag *core.Fragment, taskIdx int) string {
+	if !j.cfg.DisableCache {
+		for _, key := range taskCacheKeys(j.plan, ps, frag, taskIdx) {
+			for exID := range j.cacheIndex[key] {
+				if jm.slotsFree[exID] > 0 && slices.Contains(pool, exID) {
 					return exID
 				}
 			}
 		}
 	}
 	for i := 0; i < len(pool); i++ {
-		exID := pool[m.rrTask%len(pool)]
-		m.rrTask++
-		if m.slotsFree[exID] > 0 {
+		exID := pool[jm.rrTask%len(pool)]
+		jm.rrTask++
+		if jm.slotsFree[exID] > 0 {
 			return exID
 		}
 	}

@@ -38,9 +38,11 @@ func (p *Progress) DoneCount() int {
 	return n
 }
 
-// progressBlockID names the replicated metadata block on reserved
+// progressBlockID names one job's replicated metadata block on reserved
 // executors.
-const progressBlockID = "pado/progress"
+func progressBlockID(job int) string {
+	return fmt.Sprintf("pado/progress/%d", job)
+}
 
 // Encode serializes the progress metadata.
 func (p *Progress) Encode() ([]byte, error) {
@@ -109,10 +111,10 @@ func DecodeProgress(b []byte) (*Progress, error) {
 	return p, nil
 }
 
-// snapshotProgress captures the master's current stage-completion state.
-func (m *Master) snapshotProgress() *Progress {
-	p := &Progress{Stages: make([]StageProgress, len(m.stages))}
-	for i, s := range m.stages {
+// snapshotProgress captures one job's current stage-completion state.
+func (j *jobRun) snapshotProgress() *Progress {
+	p := &Progress{Stages: make([]StageProgress, len(j.stages))}
+	for i, s := range j.stages {
 		p.Stages[i] = StageProgress{
 			ID:          s.ps.ID,
 			Gen:         s.gen,
@@ -127,27 +129,28 @@ func (m *Master) snapshotProgress() *Progress {
 // metadata.
 const replicationFactor = 2
 
-// replicateProgress ships the current snapshot to reserved executors on
-// a background goroutine (§3.2.6: "periodically replicating the progress
-// metadata"). Failures are ignored: the snapshot is advisory and the
-// next stage completion re-replicates.
-func (m *Master) replicateProgress() {
-	snap := m.snapshotProgress()
+// replicateProgress ships one job's current snapshot to reserved
+// executors on a background goroutine (§3.2.6: "periodically replicating
+// the progress metadata"). Failures are ignored: the snapshot is
+// advisory and the next stage completion re-replicates.
+func (jm *JobManager) replicateProgress(j *jobRun) {
+	snap := j.snapshotProgress()
 	targets := make([]string, 0, replicationFactor)
-	for i := 0; i < len(m.reservedOrder) && i < replicationFactor; i++ {
-		targets = append(targets, m.reservedOrder[i])
+	for i := 0; i < len(jm.reservedOrder) && i < replicationFactor; i++ {
+		targets = append(targets, jm.reservedOrder[i])
 	}
 	if len(targets) == 0 {
 		return
 	}
-	pool := m.pool
+	pool := jm.pool
+	blockID := progressBlockID(j.id)
 	go func() {
 		payload, err := snap.Encode()
 		if err != nil {
 			return
 		}
 		for _, id := range targets {
-			_ = storeBlock(pool, id, progressBlockID, payload)
+			_ = storeBlock(pool, id, blockID, payload)
 		}
 	}()
 }

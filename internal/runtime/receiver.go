@@ -109,7 +109,7 @@ func (r *receiver) cancel() {
 }
 
 func (r *receiver) fail(err error, fatal bool) {
-	r.ex.send(evReceiverFailed{Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
+	r.ex.send(evReceiverFailed{Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
 		Exec: r.ex.id, Err: err, Fatal: fatal})
 }
 
@@ -151,7 +151,7 @@ func (r *receiver) run() {
 						// relaunch the sender.
 						delete(r.committed, key)
 						r.ex.send(evPullFailed{ref: taskRef{
-							Stage: r.spec.Stage, Gen: r.spec.Gen,
+							Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen,
 							Frag: msg.Frag, Index: msg.Index, Attempt: msg.Attempt,
 						}})
 						continue
@@ -176,7 +176,7 @@ func (r *receiver) run() {
 // pull fetches a committed sender output in pull-boundary mode and stages
 // it as if it had been pushed.
 func (r *receiver) pull(c msgCommit) error {
-	id := taskBlockID(r.spec.Stage, r.spec.Gen, c.Frag, c.Index, c.Attempt, r.spec.Index)
+	id := taskBlockID(r.ex.job, r.spec.Stage, r.spec.Gen, c.Frag, c.Index, c.Attempt, r.spec.Index)
 	r.ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: r.spec.Stage, Frag: c.Frag,
 		Task: c.Index, Attempt: c.Attempt, Exec: r.ex.id, Note: "pull"})
 	payload, err := fetchBlock(r.ex.pool, c.Exec, id)
@@ -374,7 +374,7 @@ func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, par
 	var total int64
 	err := fanout(len(parts), maxFetchWorkers, func(i int) error {
 		p := parts[i]
-		payload, err := fetchBlock(r.ex.pool, loc.Execs[p], stageBlockID(fromStage, loc.Gen, p))
+		payload, err := fetchBlock(r.ex.pool, loc.Execs[p], stageBlockID(r.ex.job, fromStage, loc.Gen, p))
 		if err != nil {
 			return err
 		}
@@ -440,8 +440,8 @@ func (r *receiver) maybeFinalize() bool {
 		r.fail(err, true)
 		return true
 	}
-	r.ex.store.Put(stageBlockID(r.spec.Stage, r.spec.Gen, r.spec.Index), payload)
-	r.ex.send(evReservedTaskDone{Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
+	r.ex.store.Put(stageBlockID(r.ex.job, r.spec.Stage, r.spec.Gen, r.spec.Index), payload)
+	r.ex.send(evReservedTaskDone{Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
 		Exec: r.ex.id, Bytes: int64(len(payload))})
 	return true
 }

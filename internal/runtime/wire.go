@@ -22,6 +22,7 @@ const (
 // merged their outputs (§3.2.7); the receiver processes it only once
 // every covered task's commit has arrived through the master (§3.2.5).
 type pushFrame struct {
+	Job      int
 	Stage    int
 	Gen      int
 	RecvIdx  int
@@ -47,6 +48,7 @@ func writePushFrame(e *data.Encoder, f *pushFrame) error {
 	if err := e.Byte(framePush); err != nil {
 		return err
 	}
+	e.Varint(int64(f.Job))
 	e.Varint(int64(f.Stage))
 	e.Varint(int64(f.Gen))
 	e.Varint(int64(f.RecvIdx))
@@ -75,6 +77,10 @@ func readPushFrame(d *data.Decoder) (*pushFrame, error) {
 	f := &pushFrame{}
 	v, err := d.Varint()
 	if err != nil {
+		return nil, err
+	}
+	f.Job = int(v)
+	if v, err = d.Varint(); err != nil {
 		return nil, err
 	}
 	f.Stage = int(v)
@@ -192,6 +198,7 @@ func fetchBlock(pool *connPool, owner, blockID string) ([]byte, error) {
 
 // resultFrame is a terminal-transient stage's output push to the master.
 type resultFrame struct {
+	Job     int
 	Stage   int
 	Gen     int
 	Index   int
@@ -204,6 +211,7 @@ func sendResult(pool *connPool, masterID string, f *resultFrame) error {
 		if err := e.Byte(frameResult); err != nil {
 			return err
 		}
+		e.Varint(int64(f.Job))
 		e.Varint(int64(f.Stage))
 		e.Varint(int64(f.Gen))
 		e.Varint(int64(f.Index))
@@ -231,6 +239,10 @@ func readResultFrame(d *data.Decoder) (*resultFrame, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.Job = int(v)
+	if v, err = d.Varint(); err != nil {
+		return nil, err
+	}
 	f.Stage = int(v)
 	if v, err = d.Varint(); err != nil {
 		return nil, err
@@ -250,14 +262,16 @@ func readResultFrame(d *data.Decoder) (*resultFrame, error) {
 	return f, nil
 }
 
-// stageBlockID names a stage-output partition block, including the stage
-// generation so recomputed outputs never collide with stale blocks.
-func stageBlockID(stage, gen, part int) string {
-	return fmt.Sprintf("so/%d/%d/%d", stage, gen, part)
+// stageBlockID names a stage-output partition block. Block names are
+// scoped by job so concurrent jobs sharing a container's local store
+// never collide, and include the stage generation so recomputed outputs
+// never collide with stale blocks.
+func stageBlockID(job, stage, gen, part int) string {
+	return fmt.Sprintf("so/%d/%d/%d/%d", job, stage, gen, part)
 }
 
 // taskBlockID names a transient task's locally stored boundary output in
-// pull-boundary (ablation) mode.
-func taskBlockID(stage, gen, frag, task, attempt, recv int) string {
-	return fmt.Sprintf("tb/%d/%d/%d/%d/%d/%d", stage, gen, frag, task, attempt, recv)
+// pull-boundary (ablation) mode, scoped by job like stageBlockID.
+func taskBlockID(job, stage, gen, frag, task, attempt, recv int) string {
+	return fmt.Sprintf("tb/%d/%d/%d/%d/%d/%d/%d", job, stage, gen, frag, task, attempt, recv)
 }

@@ -77,12 +77,13 @@ func TestPushFrameRoundTripProperty(t *testing.T) {
 }
 
 func TestResultFrameRoundTrip(t *testing.T) {
-	in := &resultFrame{Stage: 4, Gen: 2, Index: 7, Attempt: 1, Payload: []byte{1, 2, 3}}
+	in := &resultFrame{Job: 3, Stage: 4, Gen: 2, Index: 7, Attempt: 1, Payload: []byte{1, 2, 3}}
 	var buf bytes.Buffer
 	e := data.NewEncoder(&buf)
 	if err := e.Byte(frameResult); err != nil {
 		t.Fatal(err)
 	}
+	e.Varint(int64(in.Job))
 	e.Varint(int64(in.Stage))
 	e.Varint(int64(in.Gen))
 	e.Varint(int64(in.Index))
@@ -101,7 +102,7 @@ func TestResultFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Stage != 4 || out.Gen != 2 || out.Index != 7 || out.Attempt != 1 || !bytes.Equal(out.Payload, in.Payload) {
+	if out.Job != 3 || out.Stage != 4 || out.Gen != 2 || out.Index != 7 || out.Attempt != 1 || !bytes.Equal(out.Payload, in.Payload) {
 		t.Errorf("got %+v", out)
 	}
 }
@@ -129,11 +130,17 @@ func TestFrameBlockRoundTrip(t *testing.T) {
 }
 
 func TestBlockIDs(t *testing.T) {
-	if stageBlockID(1, 2, 3) == stageBlockID(1, 3, 3) {
+	if stageBlockID(1, 1, 2, 3) == stageBlockID(1, 1, 3, 3) {
 		t.Error("generation not encoded in block id")
 	}
-	if taskBlockID(1, 1, 0, 2, 0, 3) == taskBlockID(1, 1, 0, 2, 1, 3) {
+	if taskBlockID(1, 1, 1, 0, 2, 0, 3) == taskBlockID(1, 1, 1, 0, 2, 1, 3) {
 		t.Error("attempt not encoded in task block id")
+	}
+	if stageBlockID(1, 2, 3, 4) == stageBlockID(2, 2, 3, 4) {
+		t.Error("job not encoded in stage block id")
+	}
+	if taskBlockID(1, 1, 1, 0, 2, 0, 3) == taskBlockID(2, 1, 1, 0, 2, 0, 3) {
+		t.Error("job not encoded in task block id")
 	}
 }
 
