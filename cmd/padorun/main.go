@@ -53,6 +53,12 @@ func main() {
 	timelineOut := flag.String("timeline", "", "write a plain-text per-stage timeline to this file (\"-\" for stdout)")
 	reportOut := flag.String("report", "", "write the analyzer report JSON (critical path, eviction costs, stage latencies) to this file (\"-\" for stdout); render it with padoreport")
 	chaosPlan := flag.String("chaos", "", "run under the scripted fault schedule in this plan JSON file (see examples/chaos/)")
+	heartbeat := flag.Duration("heartbeat", 0, "executor heartbeat period for the failure detector (0 = default 100ms)")
+	suspectAfter := flag.Duration("suspect-after", 0, "heartbeat staleness that marks a node suspect (0 = 4x heartbeat)")
+	deadAfter := flag.Duration("dead-after", 0, "heartbeat staleness that declares a node dead and triggers recovery; raise on loaded hosts to avoid false positives (0 = 15x heartbeat)")
+	rpcDeadline := flag.Duration("rpc-deadline", 0, "per-attempt deadline on data-plane RPCs (0 = no deadline; recovery then relies on heartbeats)")
+	noDetector := flag.Bool("no-detector", false, "disable heartbeats and the failure detector (announced failures only)")
+	noRPCPolicy := flag.Bool("no-rpc-policy", false, "disable the RPC retry/backoff/breaker layer")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -169,6 +175,14 @@ func main() {
 		cfg := runtime.Config{
 			Plan:   planCfg,
 			Tracer: tracer,
+			Failure: runtime.FailureConfig{
+				DisableDetector:  *noDetector,
+				HeartbeatEvery:   *heartbeat,
+				SuspectAfter:     *suspectAfter,
+				DeadAfter:        *deadAfter,
+				DisableRPCPolicy: *noRPCPolicy,
+				RPCDeadline:      *rpcDeadline,
+			},
 		}
 		if chaosEngine != nil {
 			cfg.Chaos = chaosEngine

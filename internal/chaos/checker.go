@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"pado/internal/dag"
 	"pado/internal/data"
@@ -32,6 +33,13 @@ const (
 	InvTopoOrder = "recovery-topo-order"
 	// InvOutput: job output differs from the fault-free golden run.
 	InvOutput = "output-mismatch"
+	// InvDetectionBound: every silently killed, hung, or grayed node is
+	// declared dead by the failure detector within the bound.
+	InvDetectionBound = "detection-bound"
+	// InvFalsePositive: no node is declared dead without an injected
+	// unannounced fault implicating it — latency storms, announced
+	// evictions, and healthy load must never look like death.
+	InvFalsePositive = "false-positive-dead"
 )
 
 // Violation is one invariant breach.
@@ -126,6 +134,98 @@ func Canonical(outputs map[dag.VertexID][]data.Record) []byte {
 	return b.Bytes()
 }
 
+// CheckDetection verifies the failure-detection invariants over one
+// run's merged event stream and returns violations to merge into a
+// Report:
+//
+//   - detection-bound: every node hit by an unannounced kill-silent,
+//     hang, or gray injection is declared dead (node_declared_dead)
+//     within bound of the injection;
+//   - false-positive-dead: every node_declared_dead corresponds to an
+//     injected unannounced fault implicating that node (by target id, or
+//     by prefix for partitions). On plans with no such injections —
+//     latency storms, announced evictions — any declaration at all is a
+//     false positive.
+//
+// Injections are matched through the chaos_injected events record()
+// emits (Note: "<ruleID> <op> <detail>", Exec: target), so the checker
+// needs no side channel to the engine.
+func CheckDetection(events []obs.Event, bound time.Duration) []Violation {
+	type injection struct {
+		op     string
+		target string
+		t      time.Duration
+	}
+	var injected []injection
+	var out []Violation
+	declared := make(map[string]time.Duration) // exec -> first declaration time
+	var declOrder []string
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.ChaosInjected:
+			fields := strings.Fields(ev.Note)
+			if len(fields) < 2 {
+				continue
+			}
+			switch op := fields[1]; op {
+			case OpKillSilent, OpHang, OpGray, OpPartition:
+				injected = append(injected, injection{op: op, target: ev.Exec, t: ev.T})
+			}
+		case obs.NodeDeclaredDead:
+			if _, ok := declared[ev.Exec]; !ok {
+				declared[ev.Exec] = ev.T
+				declOrder = append(declOrder, ev.Exec)
+			}
+		}
+	}
+
+	for _, inj := range injected {
+		if inj.op == OpPartition {
+			continue // may or may not isolate a full node
+		}
+		t, ok := declared[inj.target]
+		switch {
+		case !ok:
+			out = append(out, Violation{
+				Invariant: InvDetectionBound,
+				Detail:    fmt.Sprintf("%s target %s never declared dead", inj.op, inj.target),
+			})
+		case t-inj.t > bound:
+			out = append(out, Violation{
+				Invariant: InvDetectionBound,
+				Detail: fmt.Sprintf("%s target %s declared dead %v after injection (bound %v)",
+					inj.op, inj.target, t-inj.t, bound),
+			})
+		}
+	}
+
+	for _, exec := range declOrder {
+		legit := false
+		for _, inj := range injected {
+			if inj.op == OpPartition {
+				// Partition targets are recorded as "from->to" prefixes:
+				// either side of the cut may be quarantined.
+				from, to, _ := strings.Cut(inj.target, "->")
+				if strings.HasPrefix(exec, from) || (to != "" && strings.HasPrefix(exec, to)) {
+					legit = true
+					break
+				}
+			} else if inj.target == exec {
+				legit = true
+				break
+			}
+		}
+		if !legit {
+			out = append(out, Violation{
+				Invariant: InvFalsePositive,
+				Detail:    fmt.Sprintf("node %s declared dead with no unannounced fault injected against it", exec),
+			})
+		}
+	}
+	return out
+}
+
 // commitKey identifies one task output within one stage scheduling epoch.
 type commitKey struct {
 	Stage, Epoch, Frag, Task int
@@ -175,6 +275,13 @@ func check(events []obs.Event, parents map[int][]int, r *Report) *Report {
 			r.Injections++
 		case obs.ContainerFailed:
 			lastCause = i
+		case obs.NodeDeclaredDead:
+			// A reserved node the failure detector gave up on restarts its
+			// stages exactly like an announced reserved failure (§3.2.6);
+			// the note leads with the container kind.
+			if strings.HasPrefix(ev.Note, "reserved") {
+				lastCause = i
+			}
 		case obs.TaskFailed:
 			if ev.Frag == obs.ReservedFrag {
 				lastCause = i // receiver failure forces a stage restart

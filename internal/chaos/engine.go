@@ -331,6 +331,47 @@ func (e *Engine) apply(act action) {
 			e.mu.Unlock()
 		}
 		e.record(act.rule, f.From+"->"+f.To, linkDetail(f))
+	case OpKillSilent:
+		id := e.pickTarget(f.Target, act.exec, cluster.Transient)
+		if id == "" {
+			e.record(act.rule, "", "no live transient container")
+			return
+		}
+		err := e.cl.KillSilently(id, !f.NoReplace)
+		e.record(act.rule, id, errDetail(err))
+	case OpHang:
+		id := e.pickTarget(f.Target, act.exec, cluster.Transient)
+		if id == "" {
+			e.record(act.rule, "", "no live transient container")
+			return
+		}
+		if !e.cl.Net().SetWedged(id, true) {
+			e.record(act.rule, id, "no such node")
+			return
+		}
+		if w := f.Window.D(); w > 0 {
+			time.AfterFunc(w, func() { e.cl.Net().SetWedged(id, false) })
+		}
+		e.record(act.rule, id, fmt.Sprintf("wedged window=%v", f.Window.D()))
+	case OpGray:
+		id := e.pickTarget(f.Target, act.exec, cluster.Transient)
+		if id == "" {
+			e.record(act.rule, "", "no live transient container")
+			return
+		}
+		// Break the node's data plane both ways but spare its master
+		// links: it keeps heartbeating while refusing data.
+		rmOut := e.cl.Net().InjectFault(simnet.LinkFault{
+			From: id, ExceptTo: "master", DropEvery: 1, FailDial: true})
+		rmIn := e.cl.Net().InjectFault(simnet.LinkFault{
+			To: id, ExceptFrom: "master", DropEvery: 1, FailDial: true})
+		e.retire(f.Window.D(), rmOut, rmIn)
+		e.record(act.rule, id, fmt.Sprintf("gray window=%v", f.Window.D()))
+	case OpPartition:
+		remove := e.cl.Net().InjectFault(simnet.LinkFault{
+			From: f.From, To: f.To, DropEvery: 1, FailDial: true})
+		e.retire(f.Window.D(), remove)
+		e.record(act.rule, f.From+"->"+f.To, fmt.Sprintf("partition window=%v", f.Window.D()))
 	case OpCommitDelay, OpCommitDup:
 		cf := &commitFault{rule: act.rule, remaining: -1}
 		if f.Commits > 0 {
@@ -341,6 +382,22 @@ func (e *Engine) apply(act action) {
 		e.mu.Unlock()
 		e.record(act.rule, "", commitDetail(f))
 	}
+}
+
+// retire schedules fault removals: after window when positive, else at
+// engine Stop.
+func (e *Engine) retire(window time.Duration, removes ...func()) {
+	if window > 0 {
+		time.AfterFunc(window, func() {
+			for _, rm := range removes {
+				rm()
+			}
+		})
+		return
+	}
+	e.mu.Lock()
+	e.removals = append(e.removals, removes...)
+	e.mu.Unlock()
 }
 
 // record logs an applied fault and emits it as a first-class obs event,

@@ -146,6 +146,24 @@ const (
 	// OpCommitDup duplicates the master's commit relays (Count extra
 	// copies, default 1).
 	OpCommitDup = "commit-dup"
+	// OpKillSilent removes a container with no eviction or failure
+	// announcement (the cluster still allocates a replacement unless
+	// NoReplace): only the heartbeat failure detector can notice.
+	OpKillSilent = "kill-silent"
+	// OpHang wedges a container's node: writes touching it block with
+	// connections held open — no errors, no EOF, no announcement. Window
+	// un-wedges it later (0 = wedged until quarantined or run end).
+	OpHang = "hang"
+	// OpGray breaks a container's data plane in both directions (every
+	// chunk dropped, every dial failed) while sparing its links to the
+	// master node, so it keeps heartbeating while refusing data — the
+	// classic gray failure. Targeting is by node-id prefix, so plans on
+	// clusters with >= 10 containers should use unambiguous ids.
+	OpGray = "gray"
+	// OpPartition breaks From->To links directionally (chunks dropped,
+	// dials failed) for Window; the reverse direction stays healthy — an
+	// asymmetric partition — unless a second rule breaks it too.
+	OpPartition = "partition"
 )
 
 // Fault is the action half of a rule.
@@ -271,7 +289,11 @@ func (p *Plan) Validate() error {
 			}
 		}
 		switch r.Fault.Op {
-		case OpEvict, OpStorm, OpFailReserved, OpDialFail:
+		case OpEvict, OpStorm, OpFailReserved, OpDialFail, OpKillSilent, OpHang, OpGray:
+		case OpPartition:
+			if r.Fault.From == "" && r.Fault.To == "" {
+				return fmt.Errorf("chaos: rule %q: partition needs from or to", r.ID)
+			}
 		case OpLink:
 			if r.Fault.ExtraLatency == 0 && r.Fault.DropEvery == 0 {
 				return fmt.Errorf("chaos: rule %q: link fault needs extra_latency or drop_every", r.ID)

@@ -13,6 +13,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
+	"pado/internal/metrics"
 	"pado/internal/obs"
 	"pado/internal/runtime"
 	"pado/internal/trace"
@@ -64,6 +65,7 @@ type padoRun struct {
 	outputs    map[dag.VertexID][]data.Record
 	injections []chaos.Injection
 	events     []obs.Event
+	snap       metrics.Snapshot
 }
 
 // runPado executes pipe on a fresh scenario cluster under plan (nil =
@@ -108,6 +110,7 @@ func runPado(t testing.TB, pipe *dataflow.Pipeline, plan *chaos.Plan, mutate fun
 	pr.report = chaos.Check(pr.events, parents)
 	pr.canonical = chaos.Canonical(res.Outputs)
 	pr.outputs = res.Outputs
+	pr.snap = res.Metrics
 	return pr
 }
 

@@ -324,6 +324,46 @@ func (cl *Cluster) EvictNow(id string) error {
 	return nil
 }
 
+// KillSilently takes the named container down WITHOUT notifying the
+// listener — the failure-detector test injection: the node disappears
+// from the network (streams break, dials fail) but no ContainerEvicted
+// or ContainerFailed callback fires, so only heartbeat staleness can
+// reveal the loss. A replacement of the same kind is still allocated
+// when replace is true, matching the resource manager's behavior of
+// backfilling capacity it reclaimed. Idempotent on already-gone ids.
+func (cl *Cluster) KillSilently(id string, replace bool) error {
+	cl.Quarantine(id, replace)
+	return nil
+}
+
+// Quarantine removes the named container from the cluster without any
+// listener callback — the master calls it when its failure detector
+// declares a node dead, so the node cannot rejoin and later frames from
+// it hit a removed simnet node; chaos uses it (via KillSilently) as the
+// announcement-free kill injection. A same-kind replacement is allocated
+// when replace is true. Idempotent: quarantining an already-gone
+// container is a no-op. Returns the container's kind and whether it was
+// present.
+func (cl *Cluster) Quarantine(id string, replace bool) (Kind, bool) {
+	cl.mu.Lock()
+	c, ok := cl.containers[id]
+	if !ok {
+		cl.mu.Unlock()
+		return 0, false
+	}
+	delete(cl.containers, id)
+	if c.Kind == Transient {
+		cl.evictions++
+	}
+	cl.mu.Unlock()
+
+	cl.net.RemoveNode(id)
+	if replace {
+		_, _ = cl.allocate(c.Kind)
+	}
+	return c.Kind, true
+}
+
 // FailReserved injects a machine fault on a reserved container (§3.2.6).
 // No replacement is allocated automatically; the caller decides.
 func (cl *Cluster) FailReserved(id string, replace bool) error {

@@ -111,6 +111,12 @@ type Params struct {
 	// reports 5-run averages). Default 1.
 	Repeats int
 
+	// Failure tunes the failure-handling plane (heartbeat detector and
+	// RPC retry/backoff policy) on the Pado engine. The zero value means
+	// defaults-on; see runtime.FailureConfig for the knobs and their
+	// false-positive trade-offs.
+	Failure runtime.FailureConfig
+
 	// PadoConfig mutates the Pado runtime configuration (ablations).
 	PadoConfig func(*runtime.Config)
 
@@ -424,6 +430,7 @@ func (p Params) padoRuntimeConfig(tracer *obs.Tracer, engine *chaos.Engine) (run
 	cfg.Plan.Policy = pol
 	cfg.Plan.Env = p.clusterConfig().PlacementEnv()
 	cfg.AggMaxDelay = p.Scale.Wall(0.1)
+	cfg.Failure = p.Failure
 	if p.PadoConfig != nil {
 		p.PadoConfig(&cfg)
 	}

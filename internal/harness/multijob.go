@@ -196,6 +196,7 @@ func RunJobs(p Params) (MultiOutcome, error) {
 		Env:     env,
 		Tracer:  tracer,
 		Metrics: fleet,
+		Failure: p.Failure,
 	})
 	if err != nil {
 		return MultiOutcome{}, err

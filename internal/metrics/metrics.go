@@ -53,6 +53,28 @@ const (
 	NameConnReuses = "conn_reuses"
 )
 
+// Failure-handling-plane counter names (dynamically minted). The
+// heartbeat/suspicion counters come from the master's failure detector;
+// the breaker and retry counters from the per-destination RPC policy
+// layered over the connection pool. Retries are further broken down by
+// cause under "rpc_retries_<cause>" (e.g. rpc_retries_push).
+const (
+	NameHeartbeatsSent    = "heartbeats_sent"
+	NameHeartbeatsMissed  = "heartbeats_missed"
+	NameSuspicionsRaised  = "suspicions_raised"
+	NameSuspicionsCleared = "suspicions_cleared"
+	NameNodesDeclaredDead = "nodes_declared_dead"
+	NameBreakerOpens      = "breaker_opens"
+	NameRPCRetries        = "rpc_retries"
+	NameRPCBackoffNS      = "rpc_backoff_wait_ns"
+	NameRPCDeadlineHits   = "rpc_deadline_hits"
+
+	// NameRPCRetryCausePrefix prefixes the per-cause retry breakdown:
+	// the op kind that needed the retry ("push", "fetch", "store",
+	// "collect", "progress").
+	NameRPCRetryCausePrefix = "rpc_retries_"
+)
+
 // Job aggregates counters for one job run. All fields are safe for
 // concurrent update, and the zero value is ready to use.
 type Job struct {

@@ -26,6 +26,7 @@ package analyze
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"pado/internal/metrics"
@@ -146,12 +147,29 @@ type span struct {
 	bytes      int64
 }
 
-// evictionRec is one container_evicted event.
+// evictionRec is one work-destroying departure: a container_evicted
+// event (announced) or a node_declared_dead event (the failure detector
+// giving up on a silent node). Both destroy in-flight attempts the same
+// way, so waste attribution treats them uniformly; cause distinguishes
+// them in the report.
 type evictionRec struct {
-	index int // ordinal among evictions, for stable identity
+	index int // ordinal among departures, for stable identity
 	exec  string
 	t     time.Duration
+	cause string // "" for announced evictions, else the declaration note
 }
+
+// declRec is one node_declared_dead event.
+type declRec struct {
+	exec string
+	t    time.Duration
+	note string // "<kind> <cause>" from the master
+}
+
+// unannounced fault ops whose chaos_injected events mark the moment a
+// node silently broke (mirrors chaos.OpKillSilent/OpHang/OpGray without
+// importing the chaos package).
+var unannouncedOps = map[string]bool{"kill-silent": true, "hang": true, "gray": true}
 
 // causeRec is one restart cause: a reserved-container failure or a
 // receiver (reserved task) failure.
@@ -185,11 +203,22 @@ type model struct {
 	fetchSpans map[string][]span
 	openFetch  map[fetchKey]time.Duration
 
-	containersUp     int
-	containersFailed int
-	events           int
-	lastT            time.Duration
-	jobEnd           time.Duration // last StageComplete (or lastT)
+	// Failure-handling plane: detector declarations, the unannounced
+	// chaos injections they should answer, and heartbeat/breaker tallies.
+	declared          []declRec
+	injectedAt        map[string]time.Duration // target -> first unannounced injection
+	heartbeatsMissed  int
+	suspicionsRaised  int
+	suspicionsCleared int
+	breakerOpens      int
+
+	containersUp      int
+	containersEvicted int // announced container_evicted events only
+	containersFailed  int
+	timedOut          bool
+	events            int
+	lastT             time.Duration
+	jobEnd            time.Duration // last StageComplete (or lastT)
 }
 
 func (m *model) attempt(k attemptKey) *attempt {
@@ -223,6 +252,7 @@ func build(events []obs.Event, opts Options) *model {
 		maxEpoch:   make(map[int]int),
 		fetchSpans: make(map[string][]span),
 		openFetch:  make(map[fetchKey]time.Duration),
+		injectedAt: make(map[string]time.Duration),
 	}
 	m.events = len(events)
 
@@ -343,12 +373,47 @@ func build(events []obs.Event, opts Options) *model {
 			m.containersUp++
 
 		case obs.ContainerEvicted:
+			m.containersEvicted++
 			m.evictions = append(m.evictions, evictionRec{
 				index: len(m.evictions), exec: ev.Exec, t: ev.T})
 
 		case obs.ContainerFailed:
 			m.containersFailed++
 			m.causes = append(m.causes, causeRec{t: ev.T, note: "container " + ev.Exec + " failed"})
+
+		case obs.NodeDeclaredDead:
+			m.declared = append(m.declared, declRec{exec: ev.Exec, t: ev.T, note: ev.Note})
+			// The declaration destroys the node's in-flight attempts just
+			// like an announced eviction; join the attribution index.
+			m.evictions = append(m.evictions, evictionRec{
+				index: len(m.evictions), exec: ev.Exec, t: ev.T, cause: ev.Note})
+			// A reserved node declared dead restarts its stages (§3.2.6),
+			// so it is also a legitimate restart cause.
+			if strings.HasPrefix(ev.Note, "reserved") {
+				m.causes = append(m.causes, causeRec{t: ev.T, note: "node " + ev.Exec + " declared dead"})
+			}
+
+		case obs.ChaosInjected:
+			// record() notes are "<ruleID> <op> <detail>"; unannounced ops
+			// timestamp when a node silently broke, anchoring detection
+			// latency.
+			if f := strings.Fields(ev.Note); len(f) >= 2 && unannouncedOps[f[1]] && ev.Exec != "" {
+				if _, ok := m.injectedAt[ev.Exec]; !ok {
+					m.injectedAt[ev.Exec] = ev.T
+				}
+			}
+
+		case obs.HeartbeatMissed:
+			m.heartbeatsMissed++
+		case obs.SuspicionRaised:
+			m.suspicionsRaised++
+		case obs.SuspicionCleared:
+			m.suspicionsCleared++
+		case obs.BreakerOpened:
+			m.breakerOpens++
+
+		case obs.JobTimedOut:
+			m.timedOut = true
 		}
 	}
 

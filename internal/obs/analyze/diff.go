@@ -67,6 +67,20 @@ type Diff struct {
 	StragglersBase int `json:"stragglers_base"`
 	StragglersCur  int `json:"stragglers_cur"`
 
+	// Failure-handling plane: detector declarations and retry/backoff
+	// waste compared across the two runs (zero when a side's report has
+	// no detection section).
+	DeclaredDeadBase int   `json:"declared_dead_base,omitempty"`
+	DeclaredDeadCur  int   `json:"declared_dead_cur,omitempty"`
+	RPCRetriesBase   int64 `json:"rpc_retries_base,omitempty"`
+	RPCRetriesCur    int64 `json:"rpc_retries_cur,omitempty"`
+	RPCBackoffBaseNS int64 `json:"rpc_backoff_base_ns,omitempty"`
+	RPCBackoffCurNS  int64 `json:"rpc_backoff_cur_ns,omitempty"`
+	// Max injection→declaration latency on each side (0 = no anchored
+	// declarations), so detector tuning regressions show up in diffs.
+	DetectMaxBaseNS int64 `json:"detect_max_base_ns,omitempty"`
+	DetectMaxCurNS  int64 `json:"detect_max_cur_ns,omitempty"`
+
 	Stages []StageDelta `json:"stages,omitempty"`
 }
 
@@ -94,6 +108,23 @@ func DiffReports(base, cur *Report, baseLabel, curLabel string) *Diff {
 	if base.JCTNS > 0 {
 		d.JCTDeltaPct = float64(d.JCTDeltaNS) / float64(base.JCTNS) * 100
 	}
+
+	detect := func(r *Report) (declared int, retries, backoff, maxLat int64) {
+		if r.Detection == nil {
+			return
+		}
+		declared = len(r.Detection.Declared)
+		retries = r.Detection.RPCRetries
+		backoff = r.Detection.RPCBackoffNS
+		for _, decl := range r.Detection.Declared {
+			if decl.LatencyNS > maxLat {
+				maxLat = decl.LatencyNS
+			}
+		}
+		return
+	}
+	d.DeclaredDeadBase, d.RPCRetriesBase, d.RPCBackoffBaseNS, d.DetectMaxBaseNS = detect(base)
+	d.DeclaredDeadCur, d.RPCRetriesCur, d.RPCBackoffCurNS, d.DetectMaxCurNS = detect(cur)
 
 	fracOf := func(cp CritPath, class string) float64 {
 		if cp.TotalNS <= 0 {
@@ -214,6 +245,16 @@ func (d *Diff) WriteText(w io.Writer) error {
 	}
 	if err := p("stragglers: %d -> %d\n", d.StragglersBase, d.StragglersCur); err != nil {
 		return err
+	}
+	if d.DeclaredDeadBase != 0 || d.DeclaredDeadCur != 0 ||
+		d.RPCRetriesBase != 0 || d.RPCRetriesCur != 0 {
+		if err := p("detection: declared dead %d -> %d (max latency %s -> %s); rpc retries %d -> %d (backoff %s -> %s)\n",
+			d.DeclaredDeadBase, d.DeclaredDeadCur,
+			dur(d.DetectMaxBaseNS), dur(d.DetectMaxCurNS),
+			d.RPCRetriesBase, d.RPCRetriesCur,
+			dur(d.RPCBackoffBaseNS), dur(d.RPCBackoffCurNS)); err != nil {
+			return err
+		}
 	}
 	for _, s := range d.Stages {
 		if s.DeltaP95NS == 0 {

@@ -47,16 +47,20 @@ func (c CritPath) Class(name string) int64 {
 	return 0
 }
 
-// EvictionCost is the wasted work attributed to one container_evicted
-// event.
+// EvictionCost is the wasted work attributed to one work-destroying
+// departure: a container_evicted event or a node_declared_dead
+// declaration by the failure detector.
 type EvictionCost struct {
-	Index         int    `json:"index"` // ordinal among the run's evictions
+	Index         int    `json:"index"` // ordinal among the run's departures
 	Exec          string `json:"exec"`
 	AtNS          int64  `json:"at_ns"`
 	TasksKilled   int    `json:"tasks_killed"`
 	ComputeLostNS int64  `json:"compute_lost_ns"`
 	BytesLost     int64  `json:"bytes_lost"`
 	Stages        []int  `json:"stages,omitempty"` // distinct stages hit
+	// Cause is empty for announced evictions; for detector declarations
+	// it carries the master's note ("<kind> <cause>").
+	Cause string `json:"cause,omitempty"`
 }
 
 // Waste is the wasted-work accounting section.
@@ -65,8 +69,9 @@ type Waste struct {
 	// lost, then bytes) first. Evictions that destroyed nothing are
 	// counted in EvictionsTotal but not listed.
 	Evictions []EvictionCost `json:"evictions,omitempty"`
-	// EvictionsTotal counts every container_evicted event, including
-	// harmless ones.
+	// EvictionsTotal counts every work-destroying departure — announced
+	// container_evicted events plus detector node_declared_dead
+	// declarations — including harmless ones.
 	EvictionsTotal int `json:"evictions_total"`
 	// Eviction-attributed losses (sums over Evictions).
 	TasksKilled   int   `json:"tasks_killed"`
@@ -116,6 +121,41 @@ type ContainerStats struct {
 	Up      int `json:"up"`
 	Evicted int `json:"evicted"`
 	Failed  int `json:"failed"`
+	// DeclaredDead counts nodes the failure detector gave up on —
+	// unannounced departures recovered without a cluster callback.
+	DeclaredDead int `json:"declared_dead,omitempty"`
+}
+
+// Detection is one failure-detector declaration paired, when possible,
+// with the chaos injection that silenced the node.
+type Detection struct {
+	Exec string `json:"exec"`
+	Note string `json:"note,omitempty"` // "<kind> <cause>" from the master
+	AtNS int64  `json:"at_ns"`
+	// LatencyNS is the injection→declaration gap when an unannounced
+	// chaos fault (kill-silent/hang/gray) targeted the node; -1 when the
+	// declaration has no recorded injection to anchor against.
+	LatencyNS int64 `json:"latency_ns"`
+}
+
+// FailureDetection is the failure-handling-plane section: what the
+// heartbeat detector saw and declared, and what the RPC retry/backoff
+// policy spent answering flaky destinations. Omitted entirely when the
+// run had no detector or breaker activity, keeping detector-free
+// reports byte-identical to the prior schema.
+type FailureDetection struct {
+	Declared []Detection `json:"declared,omitempty"`
+
+	HeartbeatsMissed  int `json:"heartbeats_missed"`
+	SuspicionsRaised  int `json:"suspicions_raised"`
+	SuspicionsCleared int `json:"suspicions_cleared"`
+	BreakerOpens      int `json:"breaker_opens"`
+
+	// Retry/backoff waste bucket, from the run's counters: attempts and
+	// wall time the RPC policy burned on retries instead of progress.
+	RPCRetries      int64 `json:"rpc_retries"`
+	RPCBackoffNS    int64 `json:"rpc_backoff_ns"`
+	RPCDeadlineHits int64 `json:"rpc_deadline_hits"`
 }
 
 // Report is the analyzer's verdict over one run. All fields are plain
@@ -145,10 +185,13 @@ type Report struct {
 	Containers ContainerStats `json:"containers"`
 	Counters   []NamedValue   `json:"counters,omitempty"`
 
-	CritPath   CritPath      `json:"critical_path"`
-	Waste      Waste         `json:"waste"`
-	Stages     []StageReport `json:"stages"`
-	Stragglers []Straggler   `json:"stragglers,omitempty"`
+	CritPath CritPath `json:"critical_path"`
+	Waste    Waste    `json:"waste"`
+	// Detection is present only when the run's failure-handling plane
+	// did something worth reporting (see FailureDetection).
+	Detection  *FailureDetection `json:"detection,omitempty"`
+	Stages     []StageReport     `json:"stages"`
+	Stragglers []Straggler       `json:"stragglers,omitempty"`
 }
 
 // Analyze builds a Report from a merged event stream (Tracer.Events
@@ -192,12 +235,13 @@ func Analyze(events []obs.Event, opts Options) *Report {
 		ScaleNSPerMinute: int64(opts.Scale.WallPerMinute),
 		JCTNS:            int64(jct),
 		JCTMinutes:       opts.Scale.Minutes(jct),
-		TimedOut:         opts.TimedOut,
+		TimedOut:         opts.TimedOut || m.timedOut,
 		Events:           m.events,
 		Containers: ContainerStats{
-			Up:      m.containersUp,
-			Evicted: len(m.evictions),
-			Failed:  m.containersFailed,
+			Up:           m.containersUp,
+			Evicted:      m.containersEvicted,
+			Failed:       m.containersFailed,
+			DeclaredDead: len(m.declared),
 		},
 	}
 	if opts.Snapshot != nil {
@@ -207,8 +251,38 @@ func Analyze(events []obs.Event, opts Options) *Report {
 	segs := criticalPath(m)
 	r.CritPath = critPathSection(segs)
 	r.Waste = wasteSection(m)
+	r.Detection = detectionSection(m, opts.Snapshot)
 	r.Stages, r.Stragglers = stageSection(m, opts.StragglerK)
 	return r
+}
+
+// detectionSection assembles the failure-handling-plane report, or nil
+// when the run shows no detector, suspicion, or retry activity at all.
+func detectionSection(m *model, snap *metrics.Snapshot) *FailureDetection {
+	d := &FailureDetection{
+		HeartbeatsMissed:  m.heartbeatsMissed,
+		SuspicionsRaised:  m.suspicionsRaised,
+		SuspicionsCleared: m.suspicionsCleared,
+		BreakerOpens:      m.breakerOpens,
+	}
+	if snap != nil {
+		d.RPCRetries = snap.Named[metrics.NameRPCRetries]
+		d.RPCBackoffNS = snap.Named[metrics.NameRPCBackoffNS]
+		d.RPCDeadlineHits = snap.Named[metrics.NameRPCDeadlineHits]
+	}
+	for _, dr := range m.declared {
+		det := Detection{Exec: dr.exec, Note: dr.note, AtNS: int64(dr.t), LatencyNS: -1}
+		if at, ok := m.injectedAt[dr.exec]; ok && dr.t >= at {
+			det.LatencyNS = int64(dr.t - at)
+		}
+		d.Declared = append(d.Declared, det)
+	}
+	if len(d.Declared) == 0 && d.HeartbeatsMissed == 0 && d.SuspicionsRaised == 0 &&
+		d.SuspicionsCleared == 0 && d.BreakerOpens == 0 &&
+		d.RPCRetries == 0 && d.RPCBackoffNS == 0 && d.RPCDeadlineHits == 0 {
+		return nil
+	}
+	return d
 }
 
 // sortedAttempts returns every attempt in deterministic order: by
@@ -301,7 +375,7 @@ func wasteSection(m *model) Waste {
 		}
 		c := costs[ev.index]
 		if c == nil {
-			c = &EvictionCost{Index: ev.index, Exec: ev.exec, AtNS: int64(ev.t)}
+			c = &EvictionCost{Index: ev.index, Exec: ev.exec, AtNS: int64(ev.t), Cause: ev.cause}
 			costs[ev.index] = c
 			stageSets[ev.index] = make(map[int]bool)
 		}
@@ -597,8 +671,12 @@ func (r *Report) WriteText(w io.Writer) error {
 	if r.TimedOut {
 		timedOut = " TIMED OUT"
 	}
-	if err := p("jct: %s%s; %d events; containers: %d up, %d evicted, %d failed\n",
-		min(r.JCTNS), timedOut, r.Events, r.Containers.Up, r.Containers.Evicted, r.Containers.Failed); err != nil {
+	declared := ""
+	if r.Containers.DeclaredDead > 0 {
+		declared = fmt.Sprintf(", %d declared dead", r.Containers.DeclaredDead)
+	}
+	if err := p("jct: %s%s; %d events; containers: %d up, %d evicted, %d failed%s\n",
+		min(r.JCTNS), timedOut, r.Events, r.Containers.Up, r.Containers.Evicted, r.Containers.Failed, declared); err != nil {
 		return err
 	}
 
@@ -649,8 +727,12 @@ func (r *Report) WriteText(w io.Writer) error {
 			}
 			break
 		}
-		if err := p("  #%-3d %-6s @ %9s: %2d tasks, %9s compute, %8s, stages %v\n",
-			e.Index, e.Exec, dur(e.AtNS), e.TasksKilled, dur(e.ComputeLostNS), kb(e.BytesLost), e.Stages); err != nil {
+		cause := ""
+		if e.Cause != "" {
+			cause = " (declared dead: " + e.Cause + ")"
+		}
+		if err := p("  #%-3d %-6s @ %9s: %2d tasks, %9s compute, %8s, stages %v%s\n",
+			e.Index, e.Exec, dur(e.AtNS), e.TasksKilled, dur(e.ComputeLostNS), kb(e.BytesLost), e.Stages, cause); err != nil {
 			return err
 		}
 	}
@@ -658,6 +740,29 @@ func (r *Report) WriteText(w io.Writer) error {
 		if err := p("  non-eviction waste: %d failed tasks (%s), stage restarts %s\n",
 			wa.FailureTasks, dur(wa.FailureComputeLostNS), dur(wa.RestartComputeLostNS)); err != nil {
 			return err
+		}
+	}
+
+	if d := r.Detection; d != nil {
+		if err := p("detection: %d declared dead; suspicions %d raised / %d cleared; %d heartbeats missed; %d breaker opens\n",
+			len(d.Declared), d.SuspicionsRaised, d.SuspicionsCleared, d.HeartbeatsMissed, d.BreakerOpens); err != nil {
+			return err
+		}
+		for _, decl := range d.Declared {
+			lat := "no injection recorded"
+			if decl.LatencyNS >= 0 {
+				lat = dur(decl.LatencyNS) + " after injection"
+			}
+			if err := p("  %-6s declared dead @ %9s (%s): %s\n",
+				decl.Exec, dur(decl.AtNS), decl.Note, lat); err != nil {
+				return err
+			}
+		}
+		if d.RPCRetries > 0 || d.RPCDeadlineHits > 0 || d.RPCBackoffNS > 0 {
+			if err := p("  rpc waste: %d retries, %d deadline hits, %s in backoff\n",
+				d.RPCRetries, d.RPCDeadlineHits, dur(d.RPCBackoffNS)); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -99,6 +99,27 @@ const (
 	JobRejected
 	JobCompleted
 
+	// JobTimedOut marks a job abandoned by its deadline: unlike
+	// JobCompleted it is NOT a completion — analyzer reports and the
+	// chaos checker treat the job as unfinished. Note carries the cause.
+	JobTimedOut
+
+	// Failure-detector lifecycle on the master (alive → suspect → dead).
+	// HeartbeatMissed fires when a node's heartbeat is overdue at a
+	// detector tick; SuspicionRaised/Cleared bracket the suspect state;
+	// NodeDeclaredDead marks the detector giving up on a node and
+	// driving eviction-style recovery. All carry Exec.
+	HeartbeatMissed
+	SuspicionRaised
+	SuspicionCleared
+	NodeDeclaredDead
+
+	// Per-destination circuit breaker transitions on the RPC policy
+	// layer. Exec carries the quarantined destination; Note the owner
+	// node and cause.
+	BreakerOpened
+	BreakerClosed
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -128,6 +149,13 @@ var kindNames = [kindCount]string{
 	JobQueued:        "job_queued",
 	JobRejected:      "job_rejected",
 	JobCompleted:     "job_completed",
+	JobTimedOut:      "job_timed_out",
+	HeartbeatMissed:  "heartbeat_missed",
+	SuspicionRaised:  "suspicion_raised",
+	SuspicionCleared: "suspicion_cleared",
+	NodeDeclaredDead: "node_declared_dead",
+	BreakerOpened:    "breaker_opened",
+	BreakerClosed:    "breaker_closed",
 }
 
 // kindByName inverts kindNames, built once on first ParseKind call.

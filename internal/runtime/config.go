@@ -80,6 +80,20 @@ type Config struct {
 	// this many times (default 100).
 	MaxStageRestarts int
 
+	// Failure parameterizes the failure-handling plane: the heartbeat
+	// failure detector on the master and the unified RPC policy
+	// (deadlines, budgeted backoff retries, per-destination circuit
+	// breakers) on every data-plane connection pool. The zero value
+	// enables both with conservative defaults; see FailureConfig.
+	Failure FailureConfig
+
+	// ReplicateStageOutputs ring-replicates every finalized reserved
+	// stage-output partition to the next output executor, so fetches can
+	// route around a primary whose circuit breaker is open (gray-failure
+	// tolerance). Off by default: it doubles reserved-side storage and
+	// adds a background store per partition.
+	ReplicateStageOutputs bool
+
 	// Chaos, when non-nil, lets a fault-injection engine
 	// (internal/chaos) perturb the master's control plane — today, delay
 	// or duplicate the commit events relayed to receivers — to stress

@@ -1,7 +1,10 @@
 package runtime
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pado/internal/data"
 	"pado/internal/metrics"
@@ -24,11 +27,19 @@ type connPool struct {
 	net  *simnet.Network
 	from string
 	met  *metrics.Job
+	// pol, when non-nil, layers the unified RPC policy (per-op
+	// deadlines, budgeted backoff retries, per-destination circuit
+	// breakers) over the pool's bare reuse-retry. Set once right after
+	// construction, before the pool is shared.
+	pol *rpcPolicy
 
 	mu     sync.Mutex
 	idle   map[string][]*poolConn
 	closed bool
 }
+
+// opFunc is one request/response round against a pooled connection.
+type opFunc func(e *data.Encoder, d *data.Decoder) error
 
 // poolConn is one pooled connection with its codec state. The Encoder and
 // Decoder must live as long as the conn: both buffer, so rebuilding them
@@ -130,21 +141,41 @@ func isProtocolErr(err error) bool {
 	return errorsIs(err, errPushRejected) || errorsIs(err, errBlockNotFound)
 }
 
-// do runs one request/response operation against dest on a pooled
-// connection. An operation that fails with a transport error on a REUSED
-// connection is retried exactly once on a freshly dialed one: the pooled
-// conn's peer may have gone down and been replaced while the conn sat
-// idle, which per-operation dialing never observed. The retry is safe for
-// every data-plane operation: pushes are deduplicated by receivers via
+// do runs one request/response operation against dest under the generic
+// op label; wire helpers use doOp with their own label so the policy can
+// account retries by cause.
+func (p *connPool) do(to string, op opFunc) error {
+	return p.doOp("rpc", to, op)
+}
+
+// doOp runs one named request/response operation against dest. With a
+// policy installed the operation gets the full deadline/backoff/budget/
+// breaker treatment; otherwise it degenerates to the bare pool attempt.
+// Every extra attempt the policy adds is safe for the same reason the
+// pool's reuse-retry is: pushes are deduplicated by receivers via
 // Cover/attempt tracking, result frames by the master's task state, and
-// fetches and stores are idempotent. Failures on fresh connections
-// propagate unchanged, preserving pre-pool error semantics.
-func (p *connPool) do(to string, op func(e *data.Encoder, d *data.Decoder) error) error {
+// fetches and stores are idempotent — so exactly-once output commit is
+// preserved under arbitrary retrying.
+func (p *connPool) doOp(op, to string, fn opFunc) error {
+	if p.pol == nil {
+		return p.tryOnce(to, fn, 0)
+	}
+	return p.pol.run(p, op, to, fn)
+}
+
+// tryOnce is one pool-level attempt: an operation that fails with a
+// transport error on a REUSED connection is retried exactly once on a
+// freshly dialed one — the pooled conn's peer may have gone down and
+// been replaced while the conn sat idle, which per-operation dialing
+// never observed. Failures on fresh connections propagate unchanged,
+// preserving pre-pool error semantics. A positive deadline bounds each
+// invocation of fn (see runWithDeadline).
+func (p *connPool) tryOnce(to string, fn opFunc, deadline time.Duration) error {
 	pc, err := p.get(to)
 	if err != nil {
 		return err
 	}
-	err = op(pc.e, pc.d)
+	err = runWithDeadline(pc, deadline, fn)
 	if err == nil || isProtocolErr(err) {
 		p.put(pc)
 		return err
@@ -157,11 +188,34 @@ func (p *connPool) do(to string, op func(e *data.Encoder, d *data.Decoder) error
 	if pc, err = p.dial(to); err != nil {
 		return err
 	}
-	err = op(pc.e, pc.d)
+	err = runWithDeadline(pc, deadline, fn)
 	if err == nil || isProtocolErr(err) {
 		p.put(pc)
 		return err
 	}
 	p.discard(pc)
+	return err
+}
+
+// runWithDeadline bounds one operation invocation. simnet conns have no
+// native read/write deadlines (they are pipe-based), so the watchdog
+// closes the connection when the deadline fires: blocked pipe reads and
+// writes unwind with ErrConnClosed, which is rewritten to errRPCDeadline
+// so the policy can count deadline hits distinctly. The conn is dead
+// either way — tryOnce discards it on any transport error.
+func runWithDeadline(pc *poolConn, d time.Duration, fn opFunc) error {
+	if d <= 0 {
+		return fn(pc.e, pc.d)
+	}
+	var timedOut atomic.Bool
+	watchdog := time.AfterFunc(d, func() {
+		timedOut.Store(true)
+		pc.c.Close()
+	})
+	err := fn(pc.e, pc.d)
+	watchdog.Stop()
+	if err != nil && timedOut.Load() {
+		return fmt.Errorf("op to %s after %v: %w", pc.c.RemoteID(), d, errRPCDeadline)
+	}
 	return err
 }

@@ -24,6 +24,11 @@ type taskRef struct {
 type event interface{}
 
 type evContainerLaunched struct{ C *cluster.Container }
+
+// evDetectorTick drives the failure detector's staleness sweep on the
+// manager event loop, so detector state transitions are serialized with
+// the recovery paths they trigger.
+type evDetectorTick struct{}
 type evContainerEvicted struct{ C *cluster.Container }
 type evContainerFailed struct{ C *cluster.Container }
 

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -124,6 +125,68 @@ func (h *nodeHost) executor(job int) *Executor {
 	return h.jobs[job]
 }
 
+// openDests aggregates breaker-open destinations across every attached
+// executor's RPC policy — the container-level gray signal carried in the
+// host's heartbeats.
+func (h *nodeHost) openDests() []string {
+	h.mu.Lock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, ex := range h.jobs {
+		for _, d := range ex.pool.pol.openDests() {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	h.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// startHeartbeats launches the host's heartbeat loop toward the master
+// collector. The loop owns a dedicated connection (re-dialed on error)
+// and never reads a response, so a wedged or partitioned master cannot
+// make the sender lie about its own liveness cadence — at worst writes
+// block, which is exactly the silence the detector is built to notice.
+func (h *nodeHost) startHeartbeats(net *simnet.Network, masterID string, every time.Duration, met *metrics.Job) {
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var conn *simnet.Conn
+		var e *data.Encoder
+		defer func() {
+			if conn != nil {
+				conn.Close()
+			}
+		}()
+		seq := 0
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+			}
+			seq++
+			if conn == nil {
+				c, err := net.Dial(h.id, masterID)
+				if err != nil {
+					continue
+				}
+				conn = c
+				e = data.NewEncoder(conn)
+			}
+			if err := writeHeartbeat(e, &heartbeatFrame{ID: h.id, Seq: seq, Open: h.openDests()}); err != nil {
+				conn.Close()
+				conn, e = nil, nil
+				continue
+			}
+			met.Counter(metrics.NameHeartbeatsSent).Add(1)
+		}
+	}()
+}
+
 // serve handles inbound data-plane connections: boundary pushes (routed
 // to the target job's executor) and block store/fetch against the shared
 // store.
@@ -233,8 +296,12 @@ type recvKey struct{ Stage, Gen, Index int }
 type aggKey struct{ Stage, Gen, Frag int }
 
 func newExecutor(job int, h *nodeHost, net *simnet.Network, plan *core.Plan, cfg Config,
-	met *metrics.Job, events chan<- event, masterID string) *Executor {
+	met *metrics.Job, events chan<- event, masterID string, fcfg FailureConfig) *Executor {
 
+	pool := newConnPool(net, h.id, met)
+	if !fcfg.DisableRPCPolicy {
+		pool.pol = newRPCPolicy(fcfg, h.id, met, cfg.Tracer.JobBuf(job))
+	}
 	return &Executor{
 		job:       job,
 		id:        h.id,
@@ -249,7 +316,7 @@ func newExecutor(job int, h *nodeHost, net *simnet.Network, plan *core.Plan, cfg
 		store:     h.store,
 		cache:     newInputCache(cfg.cacheCapacity()),
 		flight:    recache.NewFlight(),
-		pool:      newConnPool(net, h.id, met),
+		pool:      pool,
 		cpu:       h.cpu,
 		stop:      make(chan struct{}),
 		receivers: make(map[recvKey]*receiver),
@@ -545,6 +612,33 @@ func materialize(src dataflow.Source, part int) ([]data.Record, error) {
 	}
 }
 
+// fetchStagePart pulls one partition of a located stage output. With
+// ring replication on (Config.ReplicateStageOutputs) the partition also
+// lives on the next output executor, so a primary whose breaker is open
+// is routed around without waiting for it, and a primary that fails with
+// a transient error still gets one replica fallback before the caller
+// sees the failure.
+func fetchStagePart(pool *connPool, job, stage int, loc stageLoc, part int, replicated bool) ([]byte, error) {
+	id := stageBlockID(job, stage, loc.Gen, part)
+	primary := loc.Execs[part]
+	if !replicated || len(loc.Execs) < 2 {
+		return fetchBlock(pool, primary, id)
+	}
+	peer := loc.Execs[(part+1)%len(loc.Execs)]
+	if pool.pol.quarantined(primary) {
+		if payload, err := fetchBlock(pool, peer, id); err == nil {
+			return payload, nil
+		}
+	}
+	payload, err := fetchBlock(pool, primary, id)
+	if err != nil && isTransientErr(err) {
+		if fallback, ferr := fetchBlock(pool, peer, id); ferr == nil {
+			return fallback, nil
+		}
+	}
+	return payload, err
+}
+
 // fetchPartition pulls one aligned partition of a parent stage's output,
 // through the input cache when the plan marked the edge cacheable. The
 // second result reports whether the records are now resident in this
@@ -558,7 +652,7 @@ func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, c
 	fetch := func() ([]data.Record, error) {
 		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: part,
 			Task: part, Exec: ex.id})
-		payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(ex.job, si.FromStage, loc.Gen, part))
+		payload, err := fetchStagePart(ex.pool, ex.job, si.FromStage, loc, part, ex.cfg.ReplicateStageOutputs)
 		if err != nil {
 			return nil, err
 		}
@@ -611,7 +705,7 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 		parts := make([][]data.Record, len(loc.Execs))
 		var total int64
 		err := fanout(len(loc.Execs), maxFetchWorkers, func(part int) error {
-			payload, err := fetchBlock(ex.pool, loc.Execs[part], stageBlockID(ex.job, si.FromStage, loc.Gen, part))
+			payload, err := fetchStagePart(ex.pool, ex.job, si.FromStage, loc, part, ex.cfg.ReplicateStageOutputs)
 			if err != nil {
 				return err
 			}
@@ -693,7 +787,7 @@ func isFatal(err error) bool {
 func isTransientErr(err error) bool {
 	for _, t := range []error{simnet.ErrNodeDown, simnet.ErrNoSuchNode, simnet.ErrConnClosed,
 		simnet.ErrNotListening, simnet.ErrLimiterClosed, simnet.ErrInjected,
-		errBlockNotFound, errPushRejected} {
+		errBlockNotFound, errPushRejected, errBreakerOpen, errRPCDeadline} {
 		if errorsIs(err, t) {
 			return true
 		}

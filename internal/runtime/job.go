@@ -52,6 +52,7 @@ func RunPlan(ctx context.Context, cl *cluster.Cluster, plan *core.Plan, cfg Conf
 		Tracer:     cfg.Tracer,
 		Metrics:    met,
 		EventQueue: cfg.EventQueue,
+		Failure:    cfg.Failure,
 	})
 	if err != nil {
 		return nil, err
@@ -82,8 +83,9 @@ func (jm *JobManager) collectOutputs(j *jobRun) (map[dag.VertexID][]data.Record,
 		}
 		var recs []data.Record
 		if s.ps.RootReserved {
-			for part, exID := range s.outputExecs {
-				payload, err := fetchBlock(jm.pool, exID, stageBlockID(j.id, s.ps.ID, s.gen, part))
+			loc := stageLoc{Gen: s.gen, Execs: s.outputExecs}
+			for part := range s.outputExecs {
+				payload, err := fetchStagePart(jm.pool, j.id, s.ps.ID, loc, part, j.cfg.ReplicateStageOutputs)
 				if err != nil {
 					return nil, err
 				}

@@ -48,6 +48,12 @@ type ManagerConfig struct {
 	// that don't fit the free budget are rejected instead of queued.
 	// Zero means unbounded.
 	MaxQueuedJobs int
+
+	// Failure parameterizes the failure-handling plane: the heartbeat
+	// failure detector on the manager and the RPC policy on every
+	// data-plane connection pool (the manager's own and each executor's).
+	// The zero value enables both with conservative defaults.
+	Failure FailureConfig
 }
 
 func (c ManagerConfig) eventQueue() int {
@@ -156,6 +162,10 @@ type JobManager struct {
 	// pool reuses manager-originated data-plane connections (progress
 	// replication, output collection).
 	pool *connPool
+	// fd is the heartbeat failure detector (nil when disabled). beat()
+	// is fed by collector goroutines; register/forget/tick run on the
+	// event loop.
+	fd *failureDetector
 
 	events chan event
 	// overflow carries the first "event queue full" error out of the
@@ -224,6 +234,12 @@ func newManager(cl *cluster.Cluster, mcfg ManagerConfig) *JobManager {
 		loopDone:    make(chan struct{}),
 	}
 	jm.pool = newConnPool(jm.net, "master", met)
+	if !mcfg.Failure.DisableRPCPolicy {
+		jm.pool.pol = newRPCPolicy(mcfg.Failure, "master", met, jm.tr)
+	}
+	if !mcfg.Failure.DisableDetector {
+		jm.fd = newFailureDetector(mcfg.Failure)
+	}
 	return jm
 }
 
@@ -366,15 +382,25 @@ func (jm *JobManager) SubmitPlan(plan *core.Plan, cfg Config, opts JobOptions) (
 }
 
 // run is the manager event loop: the multi-job generalization of the old
-// per-job master loop.
+// per-job master loop. With the detector enabled a ticker drives its
+// staleness sweeps at the heartbeat period, so declarations happen on
+// the loop, serialized with the recovery they trigger.
 func (jm *JobManager) run() {
 	defer close(jm.loopDone)
+	var tick <-chan time.Time
+	if jm.fd != nil {
+		t := time.NewTicker(jm.cfg.Failure.heartbeatEvery())
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-jm.quit:
 			return
 		case err := <-jm.overflow:
 			jm.failAll(err)
+		case <-tick:
+			jm.handle(evDetectorTick{})
 		case ev := <-jm.events:
 			jm.handle(ev)
 		}
@@ -396,6 +422,8 @@ func (jm *JobManager) handle(ev event) {
 		jm.onEvicted(e.C)
 	case evContainerFailed:
 		jm.onFailed(e.C)
+	case evDetectorTick:
+		jm.onDetectorTick()
 	case evReceiverReady:
 		if j := jm.jobs[e.Job]; j != nil {
 			jm.onReceiverReady(j, e)
@@ -513,7 +541,7 @@ func (jm *JobManager) cancelJob(id int) {
 		if q.id == id {
 			jm.queue = slices.Delete(jm.queue, i, i+1)
 			q.result = &Result{Plan: q.plan, Metrics: q.met.Snapshot(0, true), Progress: q.snapshotProgress()}
-			q.tr.Emit(obs.Event{Kind: obs.JobCompleted, Note: "timeout"})
+			q.tr.Emit(obs.Event{Kind: obs.JobTimedOut, Note: "canceled while queued"})
 			jm.met.Counter("jobs_completed").Add(1)
 			close(q.done)
 			return
@@ -580,7 +608,7 @@ func (jm *JobManager) finishJob(j *jobRun) {
 		j.err = j.failErr
 		close(j.done)
 	case j.timedOut:
-		j.tr.Emit(obs.Event{Kind: obs.JobCompleted, Note: "timeout"})
+		j.tr.Emit(obs.Event{Kind: obs.JobTimedOut, Note: "deadline expired"})
 		j.result = &Result{Plan: j.plan, Metrics: j.met.Snapshot(jct, true), Progress: j.snapshotProgress()}
 		close(j.done)
 	default:
@@ -615,7 +643,7 @@ func (jm *JobManager) hostsInOrder() []*nodeHost {
 
 // attachExecutor gives job j an executor on host h.
 func (jm *JobManager) attachExecutor(j *jobRun, h *nodeHost) {
-	ex := newExecutor(j.id, h, jm.net, j.plan, j.cfg, j.met, jm.events, "master")
+	ex := newExecutor(j.id, h, jm.net, j.plan, j.cfg, j.met, jm.events, "master", jm.cfg.Failure)
 	j.execs[h.id] = ex
 	h.attach(ex)
 }
@@ -687,7 +715,20 @@ func (jm *JobManager) handleCollectorConn(conn *simnet.Conn, stop <-chan struct{
 		if err != nil {
 			return
 		}
-		if op != frameResult {
+		switch op {
+		case frameHeartbeat:
+			// Fire-and-forget liveness beat: feed the detector (off the
+			// event loop; declarations happen on ticks) and keep reading.
+			hb, err := readHeartbeat(d)
+			if err != nil {
+				return
+			}
+			if jm.fd != nil {
+				jm.fd.beat(hb.ID, hb.Open, time.Now())
+			}
+			continue
+		case frameResult:
+		default:
 			return
 		}
 		f, err := readResultFrame(d)

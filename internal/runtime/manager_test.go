@@ -284,8 +284,13 @@ func TestWeightedFairSharing(t *testing.T) {
 
 	// A short aggregation flush keeps the fixed per-stage latency well
 	// below the big job's compute, so sizes dominate completion order.
+	// The big job must overrun the limiter's per-container burst
+	// (rate/4 = 25k records) by a wide margin or its compute is free
+	// and completion order degenerates to scheduling noise: 12 parts x
+	// 20k records is ~60k records per transient, ~350ms of throttled
+	// compute, against the small job's burst-covered 120 records.
 	cfg := Config{Tracer: tracer, AggMaxDelay: 2 * time.Millisecond}
-	big, expBig := submitWordCount(t, jm, 12, 2000, cfg, JobOptions{Name: "big"})
+	big, expBig := submitWordCount(t, jm, 12, 20000, cfg, JobOptions{Name: "big"})
 	small, expSmall := submitWordCount(t, jm, 2, 60, cfg, JobOptions{Name: "small", Weight: 2})
 
 	resSmall, err := small.Wait(ctx)

@@ -11,6 +11,7 @@ import (
 	"pado/internal/core"
 	"pado/internal/dag"
 	"pado/internal/dataflow"
+	"pado/internal/metrics"
 	"pado/internal/obs"
 )
 
@@ -119,9 +120,16 @@ func (jm *JobManager) onLaunched(c *cluster.Container) {
 	for _, id := range jm.order {
 		jm.attachExecutor(jm.jobs[id], h)
 	}
+	if jm.fd != nil {
+		jm.fd.register(c.ID, time.Now())
+		h.startHeartbeats(jm.net, "master", jm.cfg.Failure.heartbeatEvery(), jm.met)
+	}
 }
 
 func (jm *JobManager) dropHost(id string) {
+	if jm.fd != nil {
+		jm.fd.forget(id)
+	}
 	if h := jm.hosts[id]; h != nil {
 		h.shutdown()
 	}
@@ -151,6 +159,12 @@ func (jm *JobManager) dropHost(id string) {
 // uncommitted tasks that were scheduled on the evicted executor are
 // relaunched; parent stages are never recomputed.
 func (jm *JobManager) onEvicted(c *cluster.Container) {
+	// The announcement is a fast-path hint: if the detector already
+	// declared this node dead and recovery ran, there is nothing left to
+	// do (the host is gone and tasks were requeued once).
+	if jm.hosts[c.ID] == nil {
+		return
+	}
 	// Evictions are only traced and counted while someone is running:
 	// the resident manager outlives its jobs, and an eviction in an idle
 	// cell perturbs nobody (the old per-job master stopped observing at
@@ -159,8 +173,16 @@ func (jm *JobManager) onEvicted(c *cluster.Container) {
 		jm.tr.Emit(obs.Event{Kind: obs.ContainerEvicted, Exec: c.ID})
 	}
 	jm.dropHost(c.ID)
-	for _, id := range jm.order {
-		j := jm.jobs[id]
+	jm.recoverEvicted(c.ID)
+}
+
+// recoverEvicted implements §3.2.5 task-level recovery for a departed
+// transient node, whether the departure was announced (eviction callback)
+// or detector-declared: only uncommitted tasks scheduled on it relaunch;
+// parent stages are never recomputed.
+func (jm *JobManager) recoverEvicted(id string) {
+	for _, jid := range jm.order {
+		j := jm.jobs[jid]
 		j.met.Evictions.Add(1)
 		for _, s := range j.stages {
 			if s.status != sRunning && s.status != sStartingReceivers {
@@ -168,10 +190,10 @@ func (jm *JobManager) onEvicted(c *cluster.Container) {
 			}
 			for fi, fr := range s.frags {
 				for ti, t := range fr.tasks {
-					if t.exec == c.ID && t.state != tWaiting && t.state != tCommitted {
+					if t.exec == id && t.state != tWaiting && t.state != tCommitted {
 						jm.requeue(j, t)
 						j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID,
-							Frag: fi, Task: ti, Attempt: t.attempt, Exec: c.ID})
+							Frag: fi, Task: ti, Attempt: t.attempt, Exec: id})
 					}
 				}
 			}
@@ -191,23 +213,33 @@ func (jm *JobManager) requeue(j *jobRun, t *taskRun) {
 // pause dependents, and recompute in topological order (via the normal
 // pending-stage scheduling).
 func (jm *JobManager) onFailed(c *cluster.Container) {
+	if jm.hosts[c.ID] == nil {
+		return // detector already declared and recovered this node
+	}
 	if len(jm.order) > 0 {
 		jm.tr.Emit(obs.Event{Kind: obs.ContainerFailed, Exec: c.ID})
 	}
 	jm.dropHost(c.ID)
+	jm.recoverFailed(c.ID)
+}
 
-	for _, id := range jm.order {
-		j := jm.jobs[id]
+// recoverFailed implements §3.2.6 reserved-failure recovery for a
+// departed reserved node, announced or detector-declared: stages whose
+// intermediate results were lost with it restart, in topological order
+// via the normal pending-stage scheduling.
+func (jm *JobManager) recoverFailed(id string) {
+	for _, jid := range jm.order {
+		j := jm.jobs[jid]
 		lost := make(map[int]bool)
 		for _, s := range j.stages {
-			if s.status == sDone && slices.Contains(s.outputExecs, c.ID) {
+			if s.status == sDone && slices.Contains(s.outputExecs, id) {
 				lost[s.ps.ID] = true
 			}
 		}
 		for _, s := range j.stages {
 			restart := lost[s.ps.ID]
 			if s.status == sRunning || s.status == sStartingReceivers {
-				if slices.Contains(s.recvExecs, c.ID) {
+				if slices.Contains(s.recvExecs, id) {
 					restart = true
 				}
 				for _, pid := range s.ps.Parents {
@@ -220,6 +252,55 @@ func (jm *JobManager) onFailed(c *cluster.Container) {
 				jm.resetStage(j, s)
 			}
 		}
+	}
+}
+
+// onDetectorTick runs one detector sweep and applies its transitions:
+// counters and trace events for suspicion churn, full recovery for dead
+// declarations.
+func (jm *JobManager) onDetectorTick() {
+	if jm.fd == nil {
+		return
+	}
+	alive := func(id string) bool { return jm.hosts[id] != nil }
+	for _, tr := range jm.fd.tick(time.Now(), alive) {
+		switch tr.Kind {
+		case fdMissed:
+			jm.met.Counter(metrics.NameHeartbeatsMissed).Add(1)
+			jm.tr.Emit(obs.Event{Kind: obs.HeartbeatMissed, Exec: tr.ID})
+		case fdSuspect:
+			jm.met.Counter(metrics.NameSuspicionsRaised).Add(1)
+			jm.tr.Emit(obs.Event{Kind: obs.SuspicionRaised, Exec: tr.ID})
+		case fdCleared:
+			jm.met.Counter(metrics.NameSuspicionsCleared).Add(1)
+			jm.tr.Emit(obs.Event{Kind: obs.SuspicionCleared, Exec: tr.ID})
+		case fdDead:
+			jm.onDeclaredDead(tr.ID, tr.Cause)
+		}
+	}
+}
+
+// onDeclaredDead is the detector-triggered analogue of the cluster's
+// eviction/failure callbacks: quarantine the node (removing it from the
+// network unblocks anything wedged on its links, and a replacement is
+// allocated), then drive the same recovery path an announcement would
+// have — task relaunch for transients, topological stage recomputation
+// for reserved nodes.
+func (jm *JobManager) onDeclaredDead(id, cause string) {
+	if jm.hosts[id] == nil {
+		jm.fd.forget(id) // raced an announced departure; nothing to recover
+		return
+	}
+	kind := jm.kinds[id]
+	jm.met.Counter(metrics.NameNodesDeclaredDead).Add(1)
+	jm.tr.Emit(obs.Event{Kind: obs.NodeDeclaredDead, Exec: id,
+		Note: fmt.Sprintf("%s %s", kind, cause)})
+	jm.cl.Quarantine(id, true)
+	jm.dropHost(id)
+	if kind == cluster.Reserved {
+		jm.recoverFailed(id)
+	} else {
+		jm.recoverEvicted(id)
 	}
 }
 
@@ -542,6 +623,7 @@ func (jm *JobManager) startStage(j *jobRun, s *stageRun) {
 				Expected:  expected,
 				InputLocs: locs,
 				PullMode:  j.cfg.PullBoundaries,
+				Peers:     append([]string(nil), s.recvExecs...),
 			})
 		}
 	} else {

@@ -150,15 +150,16 @@ func (jm *JobManager) replicateProgress(j *jobRun) {
 			return
 		}
 		for _, id := range targets {
-			_ = storeBlock(pool, id, blockID, payload)
+			_ = storeBlock(pool, "progress", id, blockID, payload)
 		}
 	}()
 }
 
 // storeBlock writes a block into a remote executor's local store over a
-// pooled connection.
-func storeBlock(pool *connPool, owner, blockID string, payload []byte) error {
-	return pool.do(owner, func(e *data.Encoder, d *data.Decoder) error {
+// pooled connection. op labels the store's purpose ("progress" for
+// metadata replication, "store" otherwise) for per-cause retry counters.
+func storeBlock(pool *connPool, op, owner, blockID string, payload []byte) error {
+	return pool.doOp(op, owner, func(e *data.Encoder, d *data.Decoder) error {
 		if err := e.Byte(frameStore); err != nil {
 			return err
 		}

@@ -29,6 +29,11 @@ type recvSpec struct {
 	// PullMode makes the receiver pull committed sender outputs from
 	// transient local stores (ablation) instead of accepting pushes.
 	PullMode bool
+	// Peers lists the stage's output executors in partition order. With
+	// Config.ReplicateStageOutputs on, each receiver ring-replicates its
+	// finalized partition to the next peer so fetches can route around a
+	// quarantined primary.
+	Peers []string
 }
 
 // Receiver messages.
@@ -374,7 +379,7 @@ func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, par
 	var total int64
 	err := fanout(len(parts), maxFetchWorkers, func(i int) error {
 		p := parts[i]
-		payload, err := fetchBlock(r.ex.pool, loc.Execs[p], stageBlockID(r.ex.job, fromStage, loc.Gen, p))
+		payload, err := fetchStagePart(r.ex.pool, r.ex.job, fromStage, loc, p, r.ex.cfg.ReplicateStageOutputs)
 		if err != nil {
 			return err
 		}
@@ -440,10 +445,29 @@ func (r *receiver) maybeFinalize() bool {
 		r.fail(err, true)
 		return true
 	}
-	r.ex.store.Put(stageBlockID(r.ex.job, r.spec.Stage, r.spec.Gen, r.spec.Index), payload)
+	blockID := stageBlockID(r.ex.job, r.spec.Stage, r.spec.Gen, r.spec.Index)
+	r.ex.store.Put(blockID, payload)
+	r.replicateOutput(blockID, payload)
 	r.ex.send(evReservedTaskDone{Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
 		Exec: r.ex.id, Bytes: int64(len(payload))})
 	return true
+}
+
+// replicateOutput ring-replicates the finalized partition to the next
+// output executor (best-effort, off the critical path) so downstream
+// fetches have a replica holder to route to when the primary's breaker
+// is open. Gated by Config.ReplicateStageOutputs.
+func (r *receiver) replicateOutput(blockID string, payload []byte) {
+	if !r.ex.cfg.ReplicateStageOutputs || len(r.spec.Peers) < 2 {
+		return
+	}
+	peer := r.spec.Peers[(r.spec.Index+1)%len(r.spec.Peers)]
+	if peer == r.ex.id {
+		return
+	}
+	go func() {
+		_ = storeBlock(r.ex.pool, "store", peer, blockID, payload)
+	}()
 }
 
 func (r *receiver) runRoot() ([]data.Record, error) {

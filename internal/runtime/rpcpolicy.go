@@ -1,0 +1,237 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pado/internal/metrics"
+	"pado/internal/obs"
+)
+
+// errRPCDeadline marks a data-plane operation attempt killed by the
+// per-op deadline (FailureConfig.RPCDeadline). The attempt's connection
+// was closed to unblock it, so the error is transport-shaped: retryable.
+var errRPCDeadline = errors.New("runtime: rpc deadline exceeded")
+
+// errBreakerOpen fails operations fast while a destination's circuit
+// breaker is open. Treated like any transient network error by callers
+// (retry elsewhere / relaunch), and reported to the master as a gray
+// signal through heartbeat payloads.
+var errBreakerOpen = errors.New("runtime: destination quarantined by circuit breaker")
+
+// Breaker states.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// destState is the per-destination policy state: circuit breaker plus
+// retry-token budget. Guarded by rpcPolicy.mu.
+type destState struct {
+	state    int
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+
+	budget     float64
+	lastRefill time.Time
+}
+
+// rpcPolicy is the unified data-plane RPC policy layered over one
+// connection pool's retry-once (§ the pool preserves commit-after-all-
+// acks exactly-once semantics; the policy only adds more attempts of
+// operations that are already retry-safe):
+//
+//   - a per-operation deadline that closes the attempt's connection so
+//     blocked pipe reads/writes unwind (simnet conns have no native
+//     deadlines);
+//   - exponential backoff with deterministic jitter between retries,
+//     bounded by a per-destination refilling retry budget so a broken
+//     peer never absorbs an unbounded retry storm;
+//   - a per-destination circuit breaker (closed → open → half-open)
+//     that fails operations fast while open and exposes the open set
+//     for gray self-reporting via heartbeats.
+type rpcPolicy struct {
+	cfg  FailureConfig
+	met  *metrics.Job
+	emit *obs.Buf // breaker transition events (nil = off)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	dests map[string]*destState
+}
+
+func newRPCPolicy(cfg FailureConfig, from string, met *metrics.Job, emit *obs.Buf) *rpcPolicy {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	return &rpcPolicy{
+		cfg:   cfg,
+		met:   met,
+		emit:  emit,
+		rng:   rand.New(rand.NewSource(int64(h.Sum64()))),
+		dests: make(map[string]*destState),
+	}
+}
+
+func (pol *rpcPolicy) dest(to string) *destState {
+	d := pol.dests[to]
+	if d == nil {
+		d = &destState{budget: float64(pol.cfg.rpcRetryBudget()), lastRefill: time.Now()}
+		pol.dests[to] = d
+	}
+	return d
+}
+
+// admit reports whether an operation toward to may start. An open
+// breaker past its cooldown moves to half-open and admits probe traffic;
+// within the cooldown everything fails fast.
+func (pol *rpcPolicy) admit(to string) bool {
+	pol.mu.Lock()
+	defer pol.mu.Unlock()
+	d := pol.dest(to)
+	switch d.state {
+	case brOpen:
+		if time.Since(d.openedAt) < pol.cfg.breakerCooldown() {
+			return false
+		}
+		d.state = brHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// success records a completed operation: the breaker closes (from any
+// state) and the consecutive-failure count resets.
+func (pol *rpcPolicy) success(to string) {
+	pol.mu.Lock()
+	d := pol.dest(to)
+	wasOpen := d.state != brClosed
+	d.state = brClosed
+	d.fails = 0
+	pol.mu.Unlock()
+	if wasOpen {
+		pol.emit.Emit(obs.Event{Kind: obs.BreakerClosed, Exec: to})
+	}
+}
+
+// failure records a failed attempt; crossing the threshold (or any
+// failure while half-open) opens the breaker.
+func (pol *rpcPolicy) failure(to string) {
+	pol.mu.Lock()
+	d := pol.dest(to)
+	d.fails++
+	opened := false
+	if d.state == brHalfOpen || (d.state == brClosed && d.fails >= pol.cfg.breakerThreshold()) {
+		d.state = brOpen
+		d.openedAt = time.Now()
+		opened = true
+	}
+	pol.mu.Unlock()
+	if opened {
+		pol.met.Counter(metrics.NameBreakerOpens).Add(1)
+		pol.emit.Emit(obs.Event{Kind: obs.BreakerOpened, Exec: to})
+	}
+}
+
+// allowRetry spends one retry token for to, refilling the bucket first.
+// No token, no retry: the caller propagates the last error.
+func (pol *rpcPolicy) allowRetry(to string) bool {
+	pol.mu.Lock()
+	defer pol.mu.Unlock()
+	d := pol.dest(to)
+	now := time.Now()
+	if refill := pol.cfg.rpcBudgetRefill(); refill > 0 {
+		d.budget += float64(now.Sub(d.lastRefill)) / float64(refill)
+		if cap := float64(pol.cfg.rpcRetryBudget()); d.budget > cap {
+			d.budget = cap
+		}
+	}
+	d.lastRefill = now
+	if d.budget < 1 {
+		return false
+	}
+	d.budget--
+	return true
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (0-based): base*2^n, capped, with ±50% deterministic jitter.
+func (pol *rpcPolicy) backoff(n int) time.Duration {
+	d := pol.cfg.rpcBackoffBase() << uint(n)
+	if max := pol.cfg.rpcBackoffMax(); d > max {
+		d = max
+	}
+	pol.mu.Lock()
+	jitter := 0.5 + pol.rng.Float64()
+	pol.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// quarantined reports whether to's breaker is open or probing: fetch
+// paths with replica holders route around such destinations.
+func (pol *rpcPolicy) quarantined(to string) bool {
+	if pol == nil {
+		return false
+	}
+	pol.mu.Lock()
+	defer pol.mu.Unlock()
+	d := pol.dests[to]
+	return d != nil && d.state != brClosed
+}
+
+// openDests lists destinations whose breakers are open or half-open, in
+// sorted order — the gray signal carried by heartbeat payloads.
+func (pol *rpcPolicy) openDests() []string {
+	if pol == nil {
+		return nil
+	}
+	pol.mu.Lock()
+	var out []string
+	for to, d := range pol.dests {
+		if d.state != brClosed {
+			out = append(out, to)
+		}
+	}
+	pol.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// run executes one operation toward to under the full policy: breaker
+// admission, per-attempt deadline, and budgeted backoff retries. The
+// pool's own reuse-retry still applies inside each attempt.
+func (pol *rpcPolicy) run(p *connPool, op, to string, fn opFunc) error {
+	if !pol.admit(to) {
+		return fmt.Errorf("%s to %s: %w", op, to, errBreakerOpen)
+	}
+	deadline := pol.cfg.RPCDeadline
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = p.tryOnce(to, fn, deadline)
+		if err == nil || isProtocolErr(err) {
+			pol.success(to)
+			return err
+		}
+		if errorsIs(err, errRPCDeadline) {
+			pol.met.Counter(metrics.NameRPCDeadlineHits).Add(1)
+		}
+		pol.failure(to)
+		if attempt >= pol.cfg.rpcMaxRetries() || !pol.allowRetry(to) {
+			return err
+		}
+		if !pol.admit(to) {
+			return err
+		}
+		d := pol.backoff(attempt)
+		pol.met.Counter(metrics.NameRPCRetries).Add(1)
+		pol.met.Counter(metrics.NameRPCRetryCausePrefix + op).Add(1)
+		pol.met.Counter(metrics.NameRPCBackoffNS).Add(int64(d))
+		time.Sleep(d)
+	}
+}

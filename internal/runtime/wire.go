@@ -9,12 +9,13 @@ import (
 
 // Executor data-plane frame types.
 const (
-	framePush   = 'H' // boundary push to a receiver
-	frameFetch  = 'F' // block fetch from a local store
-	frameResult = 'R' // terminal-transient result push to the master
-	frameStore  = 'S' // block store into a local store (progress metadata)
-	respOK      = 'K'
-	respNo      = 'N'
+	framePush      = 'H' // boundary push to a receiver
+	frameFetch     = 'F' // block fetch from a local store
+	frameResult    = 'R' // terminal-transient result push to the master
+	frameStore     = 'S' // block store into a local store (progress metadata)
+	frameHeartbeat = 'B' // executor liveness beat to the master (no response)
+	respOK         = 'K'
+	respNo         = 'N'
 )
 
 // pushFrame is one boundary transfer to one reserved receiver task. It
@@ -144,7 +145,7 @@ func readPushFrame(d *data.Decoder) (*pushFrame, error) {
 // sendPush delivers a frame to the receiver's executor node over a pooled
 // connection and waits for the acknowledgement.
 func sendPush(pool *connPool, to string, f *pushFrame) error {
-	return pool.do(to, func(e *data.Encoder, d *data.Decoder) error {
+	return pool.doOp("push", to, func(e *data.Encoder, d *data.Decoder) error {
 		if err := writePushFrame(e, f); err != nil {
 			return err
 		}
@@ -170,7 +171,7 @@ var errPushRejected = errors.New("runtime: push rejected")
 // connection.
 func fetchBlock(pool *connPool, owner, blockID string) ([]byte, error) {
 	var payload []byte
-	err := pool.do(owner, func(e *data.Encoder, d *data.Decoder) error {
+	err := pool.doOp("fetch", owner, func(e *data.Encoder, d *data.Decoder) error {
 		if err := e.Byte(frameFetch); err != nil {
 			return err
 		}
@@ -207,7 +208,7 @@ type resultFrame struct {
 }
 
 func sendResult(pool *connPool, masterID string, f *resultFrame) error {
-	return pool.do(masterID, func(e *data.Encoder, d *data.Decoder) error {
+	return pool.doOp("collect", masterID, func(e *data.Encoder, d *data.Decoder) error {
 		if err := e.Byte(frameResult); err != nil {
 			return err
 		}
@@ -258,6 +259,63 @@ func readResultFrame(d *data.Decoder) (*resultFrame, error) {
 	f.Attempt = int(v)
 	if f.Payload, err = d.Bytes(0); err != nil {
 		return nil, err
+	}
+	return f, nil
+}
+
+// heartbeatFrame is one executor liveness beat. Open lists destinations
+// the sender's circuit breakers currently hold open or probing — the
+// gray-failure signal the master's detector aggregates across reporters.
+// Heartbeats are fire-and-forget: no response byte, so a slow master
+// never backpressures the sender's beat cadence.
+type heartbeatFrame struct {
+	ID   string
+	Seq  int
+	Open []string
+}
+
+func writeHeartbeat(e *data.Encoder, f *heartbeatFrame) error {
+	if err := e.Byte(frameHeartbeat); err != nil {
+		return err
+	}
+	if err := e.String(f.ID); err != nil {
+		return err
+	}
+	e.Uvarint(uint64(f.Seq))
+	e.Uvarint(uint64(len(f.Open)))
+	for _, d := range f.Open {
+		if err := e.String(d); err != nil {
+			return err
+		}
+	}
+	return e.Flush()
+}
+
+func readHeartbeat(d *data.Decoder) (*heartbeatFrame, error) {
+	f := &heartbeatFrame{}
+	var err error
+	if f.ID, err = d.String(); err != nil {
+		return nil, err
+	}
+	seq, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	f.Seq = int(seq)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("runtime: heartbeat with %d open dests", n)
+	}
+	if n > 0 {
+		f.Open = make([]string, n)
+		for i := range f.Open {
+			if f.Open[i], err = d.String(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return f, nil
 }

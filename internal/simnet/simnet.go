@@ -82,6 +82,11 @@ func New(cfg Config) *Network {
 type LinkFault struct {
 	// From and To are node-id prefixes selecting the affected links.
 	From, To string
+	// ExceptFrom and ExceptTo, when non-empty, exempt links whose source
+	// (resp. destination) id has the given prefix even if From/To match.
+	// Gray-failure rules use them to break a node's data plane while
+	// sparing its control-plane link to the master.
+	ExceptFrom, ExceptTo string
 	// ExtraLatency is added to the delivery deadline of every matching
 	// chunk (link delay / throttle injection).
 	ExtraLatency time.Duration
@@ -100,7 +105,16 @@ type faultRule struct {
 }
 
 func (r *faultRule) matches(from, to string) bool {
-	return strings.HasPrefix(from, r.f.From) && strings.HasPrefix(to, r.f.To)
+	if !strings.HasPrefix(from, r.f.From) || !strings.HasPrefix(to, r.f.To) {
+		return false
+	}
+	if r.f.ExceptFrom != "" && strings.HasPrefix(from, r.f.ExceptFrom) {
+		return false
+	}
+	if r.f.ExceptTo != "" && strings.HasPrefix(to, r.f.ExceptTo) {
+		return false
+	}
+	return true
 }
 
 // InjectFault installs f and returns a function removing it. Removal is
@@ -211,6 +225,22 @@ func (n *Network) RemoveNode(id string) {
 	}
 }
 
+// SetWedged marks (or unmarks) a node as hung: writes touching the node
+// block — with the connection held open — until the node is un-wedged,
+// closed, or removed. Unlike Close, peers get no error and no EOF; they
+// just stop hearing from the node, which is exactly the gray behavior a
+// failure detector must catch. Returns false if the node does not exist.
+func (n *Network) SetWedged(id string, wedged bool) bool {
+	n.mu.Lock()
+	nd := n.nodes[id]
+	n.mu.Unlock()
+	if nd == nil {
+		return false
+	}
+	nd.wedged.Store(wedged)
+	return true
+}
+
 // Dial opens a stream from node `from` to node `to`. The remote endpoint
 // is delivered to to's Listener; Dial fails if to is not listening.
 func (n *Network) Dial(from, to string) (*Conn, error) {
@@ -246,6 +276,11 @@ type Node struct {
 
 	bytesSent atomic.Int64
 	bytesRecv atomic.Int64
+
+	// wedged simulates a hung process: the node stops moving bytes on
+	// all of its streams — without closing them or going down — so peers
+	// observe silence, not errors. See Network.SetWedged.
+	wedged atomic.Bool
 }
 
 // ID returns the node's identifier.
@@ -408,6 +443,9 @@ func (c *Conn) Write(b []byte) (int, error) {
 	latency := c.net.cfg.Latency
 	written := 0
 	for len(b) > 0 {
+		if err := c.waitWedged(); err != nil {
+			return written, err
+		}
 		n := len(b)
 		if n > chunk {
 			n = chunk
@@ -433,6 +471,26 @@ func (c *Conn) Write(b []byte) (int, error) {
 		b = b[n:]
 	}
 	return written, nil
+}
+
+// waitWedged blocks while either endpoint is wedged (a simulated hang).
+// It returns nil once both endpoints are responsive again, and an error
+// if either node goes down or the stream breaks while waiting — so a
+// wedged node's eventual eviction still unblocks stuck writers.
+func (c *Conn) waitWedged() error {
+	for c.local.wedged.Load() || c.remote.wedged.Load() {
+		select {
+		case <-c.local.down:
+			return ErrNodeDown
+		case <-c.remote.down:
+			return ErrNodeDown
+		case <-time.After(time.Millisecond):
+			if c.wr.broken() {
+				return ErrConnClosed
+			}
+		}
+	}
+	return nil
 }
 
 func (c *Conn) writeErr(err error) error {

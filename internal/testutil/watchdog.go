@@ -1,0 +1,40 @@
+// Package testutil holds small helpers shared by the repo's test
+// suites. It must not import any pado packages: every test package,
+// including the low-level ones, needs to be able to pull it in.
+package testutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// Watchdog arms a timer that dumps every goroutine's stack to stderr
+// if the test is still running after limit. When `go test -timeout`
+// fires it kills the whole binary, and under CI the panic traceback is
+// frequently truncated or interleaved past usefulness — for the wedge
+// bugs this repo's chaos tests hunt (hung pushes, stuck breakers,
+// lost heartbeats), the stacks at the moment of the hang are the only
+// evidence. Arm the watchdog below the binary timeout so the dump
+// lands while the process is still healthy. The timer is disarmed
+// when the test finishes, so a passing test prints nothing.
+func Watchdog(tb testing.TB, limit time.Duration) {
+	tb.Helper()
+	watchdog(tb, limit, os.Stderr)
+}
+
+// watchdog is the writer-injectable core of Watchdog.
+func watchdog(tb testing.TB, limit time.Duration, w io.Writer) {
+	timer := time.AfterFunc(limit, func() {
+		fmt.Fprintf(w, "\n=== watchdog: %s still running after %v; dumping goroutines ===\n",
+			tb.Name(), limit)
+		if p := pprof.Lookup("goroutine"); p != nil {
+			p.WriteTo(w, 2)
+		}
+		fmt.Fprintf(w, "=== watchdog: end of dump for %s ===\n", tb.Name())
+	})
+	tb.Cleanup(func() { timer.Stop() })
+}

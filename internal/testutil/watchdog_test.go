@@ -1,0 +1,60 @@
+package testutil
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is a goroutine-safe bytes.Buffer: the watchdog writes
+// from its timer goroutine while the test polls.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestWatchdogDumpsStacks(t *testing.T) {
+	var out lockedBuffer
+	watchdog(t, 10*time.Millisecond, &out)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := out.String()
+		if strings.Contains(s, "watchdog: TestWatchdogDumpsStacks") &&
+			strings.Contains(s, "goroutine") &&
+			strings.Contains(s, "end of dump") {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never dumped stacks; got:\n%s", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestWatchdogDisarmedOnFinish(t *testing.T) {
+	var out lockedBuffer
+	// Run the guarded work in a subtest so its Cleanup (which disarms
+	// the timer) executes before we check for output.
+	t.Run("fast", func(t *testing.T) {
+		watchdog(t, 50*time.Millisecond, &out)
+	})
+	time.Sleep(150 * time.Millisecond)
+	if s := out.String(); s != "" {
+		t.Fatalf("watchdog fired after the test finished:\n%s", s)
+	}
+}
