@@ -57,6 +57,9 @@ func main() {
 	pull := flag.Bool("pado-pull", false, "Pado ablation: pull-based stage boundaries")
 	aggMax := flag.Int("pado-aggmax", 0, "Pado executor-level aggregation task limit (0 = default)")
 	padoReduce := flag.Int("pado-reduce", 0, "override Pado reduce parallelism")
+	httpAddr := flag.String("http", "",
+		"serve the live introspection plane on this address while the run is up "+
+			"(pado engine only; e.g. 127.0.0.1:7777, :0 picks a port; monitor with padotop)")
 	flag.Parse()
 
 	prof, err := profile.Start(*cpuProfile, *memProfile)
@@ -84,6 +87,7 @@ func main() {
 		Policy:         *policy,
 		TraceDir:       *traceDir,
 		ReportDir:      *reportDir,
+		HTTPAddr:       *httpAddr,
 	}
 	if *noAgg || *noCache || *pull || *aggMax != 0 || *padoReduce != 0 {
 		base.PadoConfig = func(cfg *runtime.Config) {

@@ -26,6 +26,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
+	"pado/internal/introspect"
 	"pado/internal/metrics"
 	"pado/internal/obs"
 	"pado/internal/obs/analyze"
@@ -61,6 +62,9 @@ func main() {
 	noRPCPolicy := flag.Bool("no-rpc-policy", false, "disable the RPC retry/backoff/breaker layer")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	httpAddr := flag.String("http", "",
+		"serve the live introspection plane on this address while the run is up "+
+			"(pado engine only; e.g. 127.0.0.1:7777, :0 picks a port; monitor with padotop)")
 	flag.Parse()
 
 	prof, err := profile.Start(*cpuProfile, *memProfile)
@@ -153,7 +157,8 @@ func main() {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if *traceOut != "" || *timelineOut != "" || *reportOut != "" || plan != nil {
+	if *traceOut != "" || *timelineOut != "" || *reportOut != "" || plan != nil ||
+		(*httpAddr != "" && strings.ToLower(*engine) == "pado") {
 		tracer = obs.New()
 	}
 
@@ -186,6 +191,23 @@ func main() {
 		}
 		if chaosEngine != nil {
 			cfg.Chaos = chaosEngine
+		}
+		if *httpAddr != "" {
+			// The manager only exists inside runtime.Run; OnManager hands
+			// it to the introspection plane as soon as it starts.
+			var srv *introspect.Server
+			defer func() { srv.Close() }()
+			cfg.OnManager = func(jm *runtime.JobManager) {
+				var err error
+				srv, err = introspect.Start(introspect.Options{
+					Addr: *httpAddr, Manager: jm, Tracer: tracer,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "introspection plane: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "introspection plane listening on http://%s\n", srv.Addr())
+			}
 		}
 		res, err := runtime.Run(ctx, cl, pipe.Graph(), cfg)
 		if err != nil {

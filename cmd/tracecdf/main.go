@@ -1,6 +1,25 @@
-// Command tracecdf regenerates the paper's trace analysis: Figure 1
-// (lifetime CDFs per safety margin), Table 1 (lifetime percentiles), and
-// Table 2 (collected idle memory).
+// Command tracecdf regenerates the paper's cluster-trace analysis from
+// the canonical Google-trace-derived usage model (internal/trace): the
+// numbers motivating Pado's transient/reserved split.
+//
+//	tracecdf            # Tables 1-2 plus the Figure 1 CDF series
+//	tracecdf -cdf=false # the tables only
+//
+// It prints, in order:
+//
+//   - Table 1: transient container lifetime percentiles (p10/p50/p90,
+//     paper minutes) per eviction safety margin
+//   - Table 2: collected idle memory as a fraction of the memory
+//     allocated to latency-critical jobs, per safety margin
+//   - Figure 1: the lifetime CDF at minute granularity over 0..60
+//     paper minutes, one column per margin (suppress with -cdf=false)
+//
+// Output is aligned plain text on stdout, stable across runs (the
+// usage model is deterministic), so diffs against committed baselines
+// are meaningful. These distributions are the same ones the simulated
+// cluster draws container lifetimes from (cluster.Config.Lifetimes),
+// which is what ties the harness's eviction rates back to the paper's
+// trace study.
 package main
 
 import (
@@ -12,8 +31,12 @@ import (
 )
 
 func main() {
-	full := flag.Bool("cdf", true, "print the Figure 1 CDF series")
+	full := flag.Bool("cdf", true, "print the Figure 1 CDF series (0..60 paper minutes, one column per safety margin)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "tracecdf: unexpected arguments %v (the trace model is built in; see -h)\n", flag.Args())
+		os.Exit(2)
+	}
 
 	u := trace.CanonicalUsage()
 	margins := []struct {

@@ -23,6 +23,7 @@ import (
 	"pado/internal/core"
 	"pado/internal/dataflow"
 	"pado/internal/engines/sparklike"
+	"pado/internal/introspect"
 	"pado/internal/metrics"
 	"pado/internal/obs"
 	"pado/internal/obs/analyze"
@@ -144,6 +145,14 @@ type Params struct {
 	// pays the same tracing overhead the (always-traced) multi-job run
 	// does; without it the speedup comparison is skewed.
 	ForceTrace bool
+
+	// HTTPAddr, when non-empty, serves the live introspection plane
+	// (internal/introspect: /metrics, /state, /events, ...) on that
+	// address for the duration of the run and forces event tracing on
+	// (the /events stream taps the tracer's fan-out). Pado engine only:
+	// the Spark baselines have no JobManager to inspect. The bound
+	// address is printed to stderr ("HTTP :0" picks a free port).
+	HTTPAddr string
 
 	// Jobs, when non-empty, switches the experiment to multi-job mode
 	// (RunJobs): every spec runs concurrently on ONE shared cluster
@@ -330,7 +339,8 @@ func runOnce(p Params) (Outcome, error) {
 	defer cancel()
 
 	var tracer *obs.Tracer
-	if p.TraceDir != "" || p.ReportDir != "" || p.Chaos != nil || p.ForceTrace {
+	if p.TraceDir != "" || p.ReportDir != "" || p.Chaos != nil || p.ForceTrace ||
+		(p.HTTPAddr != "" && p.Engine == EnginePado) {
 		tracer = obs.New()
 	}
 
@@ -350,6 +360,28 @@ func runOnce(p Params) (Outcome, error) {
 		cfg, err := p.padoRuntimeConfig(tracer, engine)
 		if err != nil {
 			return Outcome{}, err
+		}
+		if p.HTTPAddr != "" {
+			// The single-job manager only exists inside runtime.Run;
+			// OnManager hands it to the introspection plane as soon as it
+			// starts, and the server comes down with the run.
+			var srv *introspect.Server
+			defer func() { srv.Close() }()
+			prev := cfg.OnManager
+			cfg.OnManager = func(jm *runtime.JobManager) {
+				if prev != nil {
+					prev(jm)
+				}
+				var err error
+				srv, err = introspect.Start(introspect.Options{
+					Addr: p.HTTPAddr, Manager: jm, Tracer: tracer,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "harness: introspection plane: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "introspection plane listening on http://%s\n", srv.Addr())
+			}
 		}
 		res, err := runtime.Run(ctx, cl, pipe.Graph(), cfg)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pado/internal/chaos"
+	"pado/internal/introspect"
 	"pado/internal/metrics"
 	"pado/internal/obs"
 	"pado/internal/obs/analyze"
@@ -202,6 +203,17 @@ func RunJobs(p Params) (MultiOutcome, error) {
 		return MultiOutcome{}, err
 	}
 	defer jm.Close()
+
+	if p.HTTPAddr != "" {
+		srv, err := introspect.Start(introspect.Options{
+			Addr: p.HTTPAddr, Manager: jm, Tracer: tracer,
+		})
+		if err != nil {
+			return MultiOutcome{}, err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "introspection plane listening on http://%s\n", srv.Addr())
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), p.Scale.Wall(p.TimeoutMinutes))
 	defer cancel()

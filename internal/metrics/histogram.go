@@ -146,6 +146,64 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
+// Quantile estimates the p-quantile (0 < p <= 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank-th observation, the way Prometheus's histogram_quantile does:
+// observations are assumed uniformly spread between the bucket's lower
+// and upper bounds. The estimate is clamped to [Min, Max], so it is
+// exact when every observation in the deciding bucket sits on the same
+// value and lands exactly on a bucket boundary when the rank falls on
+// one. Resolution inside a bucket is what uniformity buys — much finer
+// than HistSnapshot.Quantile's whole-bucket upper bound, which reports
+// use for coarse stage ranking.
+func (h *Histogram) Quantile(p float64) int64 {
+	return h.Snapshot().QuantileInterp(p)
+}
+
+// QuantileInterp is the interpolating quantile over a snapshot; see
+// Histogram.Quantile.
+func (s HistSnapshot) QuantileInterp(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	var seen int64
+	for _, b := range s.Buckets {
+		prev := seen
+		seen += b.Count
+		if float64(seen) < rank {
+			continue
+		}
+		// Bucket b holds the rank-th observation. Interpolate between
+		// its bounds; the overflow bucket (and any bucket reaching past
+		// the observed max) is capped at Max, the first non-empty
+		// bucket floored at Min.
+		lo := int64(0)
+		if b.Index > 0 {
+			lo = HistBound(b.Index - 1)
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		hi := b.UpperBound
+		if hi > s.Max {
+			hi = s.Max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		v := float64(lo) + (rank-float64(prev))/float64(b.Count)*float64(hi-lo)
+		return int64(v + 0.5)
+	}
+	return s.Max
+}
+
 // String renders count/mean/p50/p99/max with values humanized as
 // durations.
 func (s HistSnapshot) String() string {

@@ -58,6 +58,59 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestQuantileInterpBoundaries pins the interpolating quantile at
+// exact bucket boundaries: when the rank lands exactly on a bucket's
+// cumulative count, the estimate is exactly that bucket's upper bound;
+// when every deciding observation shares one value, the Min/Max clamp
+// makes the estimate exact.
+func TestQuantileInterpBoundaries(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+
+	// 10 observations in bucket 0, 10 in bucket 1: p50's rank (10)
+	// falls exactly on bucket 0's cumulative count, so the estimate is
+	// exactly HistBound(0). p100 is exactly the max.
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 10) // bucket 0 (bound 1<<16)
+		h.Observe(1 << 17) // bucket 1 (bound 1<<17)
+	}
+	if q := h.Quantile(0.5); q != HistBound(0) {
+		t.Errorf("p50 = %d, want exact bucket bound %d", q, HistBound(0))
+	}
+	if q := h.Quantile(1); q != 1<<17 {
+		t.Errorf("p100 = %d, want max %d", q, int64(1<<17))
+	}
+	// p75: rank 15 is 5/10 into bucket 1, which spans [max(1<<16,
+	// Min)=1<<16, min(1<<17, Max)=1<<17]; halfway = 3<<15... but the
+	// Max clamp tightens hi to the observed max (1<<17), so the
+	// estimate is lo + 0.5*(hi-lo).
+	wantP75 := int64(1<<16) + (int64(1<<17)-int64(1<<16))/2
+	if q := h.Quantile(0.75); q != wantP75 {
+		t.Errorf("p75 = %d, want %d", q, wantP75)
+	}
+
+	// Single-valued histogram: clamp makes every quantile exact.
+	var one Histogram
+	for i := 0; i < 5; i++ {
+		one.Observe(12345)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if q := one.Quantile(p); q != 12345 {
+			t.Errorf("single-valued p%.0f = %d, want 12345", p*100, q)
+		}
+	}
+
+	// Overflow bucket: bounds collapse to [Min, Max] of what landed
+	// there.
+	var ov Histogram
+	ov.Observe(1 << 61)
+	if q := ov.Quantile(0.99); q != 1<<61 {
+		t.Errorf("overflow p99 = %d, want %d", q, int64(1)<<61)
+	}
+}
+
 func TestHistogramRegistry(t *testing.T) {
 	var j Job
 	h1 := j.Histogram("stage0.latency")

@@ -100,9 +100,10 @@ type Job struct {
 	CacheHits   Counter
 	CacheMisses Counter
 
-	mu    sync.Mutex
-	named map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.Mutex
+	named  map[string]*Counter
+	hists  map[string]*Histogram
+	gauges map[string]*Gauge
 }
 
 // builtin maps registry names onto the struct fields.

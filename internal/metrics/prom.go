@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (text format 0.0.4) over the Job
+// registries, with no client_golang dependency. A PromSet gathers one
+// or more registries — the fleet-wide registry unlabeled, per-job
+// registries under a `job` label — plus ad-hoc gauge samples (per-node
+// detector state), groups samples into families so each family gets
+// exactly one `# TYPE` line no matter how many registries contribute
+// to it, and writes deterministically sorted text.
+
+// Label is one Prometheus label pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// promSample is one exposition line (or, for histograms, one series of
+// _bucket/_sum/_count lines).
+type promSample struct {
+	labels []Label
+	value  int64
+	hist   *HistSnapshot
+}
+
+// promFamily is one metric family: a name, a type, and the samples
+// contributed by every gathered registry.
+type promFamily struct {
+	name    string // full exposition name (counters include _total)
+	typ     string // "counter" | "gauge" | "histogram"
+	samples []promSample
+}
+
+// PromSet accumulates metric families for one exposition. Not safe for
+// concurrent use; build, write, discard per scrape.
+type PromSet struct {
+	fams map[string]*promFamily
+}
+
+// NewPromSet returns an empty exposition set.
+func NewPromSet() *PromSet {
+	return &PromSet{fams: make(map[string]*promFamily)}
+}
+
+// family returns the family registered under name, minting it with typ
+// on first use. A name gathered again under a conflicting type keeps
+// its first type and drops the new sample — exposing two types for one
+// name is invalid Prometheus text, and first-wins keeps Write valid no
+// matter what combination of registries is gathered.
+func (p *PromSet) family(name, typ string) *promFamily {
+	f, ok := p.fams[name]
+	if !ok {
+		f = &promFamily{name: name, typ: typ}
+		p.fams[name] = f
+		return f
+	}
+	if f.typ != typ {
+		return nil
+	}
+	return f
+}
+
+// Gather adds every counter, gauge, and histogram of reg to the set,
+// attaching the given labels to each sample. Nil-safe.
+func (p *PromSet) Gather(reg *Job, labels ...Label) {
+	if reg == nil {
+		return
+	}
+	reg.Each(func(name string, v int64) {
+		if f := p.family(PromName(name)+"_total", "counter"); f != nil {
+			f.samples = append(f.samples, promSample{labels: labels, value: v})
+		}
+	})
+	reg.EachGauge(func(name string, v int64) {
+		if f := p.family(PromName(name), "gauge"); f != nil {
+			f.samples = append(f.samples, promSample{labels: labels, value: v})
+		}
+	})
+	reg.EachHistogram(func(name string, s HistSnapshot) {
+		if f := p.family(PromName(name), "histogram"); f != nil {
+			h := s
+			f.samples = append(f.samples, promSample{labels: labels, hist: &h})
+		}
+	})
+}
+
+// AddGauge adds one ad-hoc gauge sample under the (sanitized) name —
+// state that lives outside any registry, like per-node detector status.
+func (p *PromSet) AddGauge(name string, value int64, labels ...Label) {
+	if f := p.family(PromName(name), "gauge"); f != nil {
+		f.samples = append(f.samples, promSample{labels: labels, value: value})
+	}
+}
+
+// Write renders the set as Prometheus text: families sorted by name,
+// one TYPE line each, samples in gather order.
+func (p *PromSet) Write(w io.Writer) error {
+	names := make([]string, 0, len(p.fams))
+	for name := range p.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := p.fams[name]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			if f.typ == "histogram" {
+				writeHistSample(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(s.labels, "", 0), s.value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistSample renders one histogram series: cumulative _bucket
+// lines for each non-empty bucket plus the mandatory +Inf bucket, then
+// _sum and _count. Sparse buckets are valid exposition — le values need
+// not enumerate every bound, only be cumulative.
+func writeHistSample(b *strings.Builder, name string, s promSample) {
+	var cum int64
+	for _, bk := range s.hist.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			promLabels(s.labels, "le", float64(bk.UpperBound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+		promLabels(s.labels, "le", 0), s.hist.Count) // le="+Inf"
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, promLabels(s.labels, "", 0), s.hist.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, promLabels(s.labels, "", 0), s.hist.Count)
+}
+
+// promLabels renders a label set, optionally appending an le label
+// (leName "le"; le==0 with leName set means +Inf). Returns "" when
+// empty.
+func promLabels(labels []Label, leName string, le float64) string {
+	if len(labels) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, labelName(l.Name), escapeLabel(l.Value))
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		v := "+Inf"
+		if le != 0 {
+			v = strconv.FormatFloat(le, 'g', -1, 64)
+		}
+		fmt.Fprintf(&b, `%s="%s"`, leName, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelName sanitizes a label name (no pado_ prefix — label names are
+// caller-scoped, not metric names).
+func labelName(name string) string {
+	out := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+	if out == "" || out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the exposition format, which
+// recognizes exactly three escapes: `\\`, `\"`, and `\n`. Other control
+// characters are dropped rather than hex-escaped (strict parsers
+// reject unrecognized escape sequences).
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch {
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == '"':
+			b.WriteString(`\"`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r < 0x20:
+			// dropped
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// PromName sanitizes name into a legal Prometheus metric/label name
+// prefixed with "pado_": every character outside [a-zA-Z0-9_] becomes
+// '_'. Dots in obs counter names ("obs.task_launched") map to
+// "pado_obs_task_launched".
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("pado_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

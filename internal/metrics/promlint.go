@@ -1,0 +1,331 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus is a promtool-style validator for the text exposition
+// format, with no external dependency: the CI http-smoke lane (via
+// `padotop -lint`) and the introspect server tests run a scraped
+// /metrics page through it. It checks that
+//
+//   - every # TYPE line names a legal metric with a known type, at most
+//     once per family, before any of the family's samples;
+//   - every sample line parses (legal name, well-formed label set,
+//     float-parseable value) and belongs to a declared family, with the
+//     suffix rules applied (counters expose only the _total sample;
+//     histograms only _bucket/_sum/_count);
+//   - every histogram series carries an le="+Inf" bucket equal to its
+//     _count, with cumulative (non-decreasing) bucket values;
+//   - the page exposes at least one sample.
+//
+// It returns nil for a valid page and an error naming the first (or an
+// aggregate of) violations otherwise.
+func LintPrometheus(r io.Reader) error {
+	types := make(map[string]string) // family -> type
+	seenSamples := make(map[string]bool)
+	samples := 0
+	type histSeries struct {
+		inf, count     int64
+		hasInf, hasCnt bool
+		lastLE         float64
+		lastCum        int64
+		any            bool
+	}
+	hists := make(map[string]*histSeries) // family + label-key
+	var errs []string
+	addErr := func(line int, format string, args ...any) {
+		if len(errs) < 10 {
+			errs = append(errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					addErr(lineNo, "malformed TYPE line: %q", line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					addErr(lineNo, "invalid metric name in TYPE: %q", name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addErr(lineNo, "unknown type %q for %s", typ, name)
+				}
+				if _, dup := types[name]; dup {
+					addErr(lineNo, "duplicate TYPE line for %s", name)
+				}
+				if seenSamples[name] {
+					addErr(lineNo, "TYPE line for %s after its samples", name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addErr(lineNo, "%v", err)
+			continue
+		}
+		samples++
+		fam, suffix := familyOf(name, types)
+		if fam == "" {
+			addErr(lineNo, "sample %s has no TYPE line", name)
+			continue
+		}
+		seenSamples[fam] = true
+		typ := types[fam]
+		switch typ {
+		case "counter":
+			// Both conventions are valid text format: a family declared
+			// as the base name with samples at base_total (OpenMetrics
+			// style), or the family itself carrying the _total suffix
+			// with exact-name samples (what PromSet writes). Either
+			// way, the sample line must end in _total.
+			if suffix != "_total" && !strings.HasSuffix(name, "_total") {
+				addErr(lineNo, "counter %s sample must end in _total (got %s)", fam, name)
+			}
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				key := fam + "|" + labelKey(labels, "le")
+				h := hists[key]
+				if h == nil {
+					h = &histSeries{}
+					hists[key] = h
+				}
+				le, ok := labels["le"]
+				if !ok {
+					addErr(lineNo, "histogram bucket %s missing le label", name)
+					continue
+				}
+				cum := int64(value)
+				if le == "+Inf" {
+					h.inf, h.hasInf = cum, true
+				} else {
+					lef, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						addErr(lineNo, "unparseable le=%q on %s", le, name)
+						continue
+					}
+					if h.any && (lef <= h.lastLE || cum < h.lastCum) {
+						addErr(lineNo, "non-cumulative buckets on %s (le=%v cum=%d after le=%v cum=%d)",
+							fam, lef, cum, h.lastLE, h.lastCum)
+					}
+					h.lastLE, h.lastCum, h.any = lef, cum, true
+				}
+			case "_sum":
+			case "_count":
+				key := fam + "|" + labelKey(labels, "le")
+				h := hists[key]
+				if h == nil {
+					h = &histSeries{}
+					hists[key] = h
+				}
+				h.count, h.hasCnt = int64(value), true
+			default:
+				addErr(lineNo, "histogram %s sample must end in _bucket/_sum/_count (got %s)", fam, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("lint: read: %w", err)
+	}
+	if samples == 0 {
+		addErr(lineNo, "page exposes no samples")
+	}
+	for key, h := range hists {
+		fam := key[:strings.IndexByte(key, '|')]
+		if !h.hasInf {
+			addErr(0, "histogram %s{%s} missing le=\"+Inf\" bucket", fam, key[len(fam)+1:])
+		} else if h.hasCnt && h.inf != h.count {
+			addErr(0, "histogram %s{%s}: +Inf bucket %d != count %d", fam, key[len(fam)+1:], h.inf, h.count)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("lint: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match,
+// or the name minus a recognized suffix when the stripped family is
+// declared with a matching type.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if _, ok := types[base]; ok {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// parseSample parses one exposition sample line.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	name = rest[:i]
+	if name == "" || !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid sample name in %q", line)
+	}
+	rest = rest[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQ := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQ && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQ = !inQ
+			case !inQ && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", fields[0], line)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` (contents between the braces).
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair missing '='")
+		}
+		k := strings.TrimSpace(s[:eq])
+		if !validMetricName(k) {
+			return nil, fmt.Errorf("invalid label name %q", k)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", k)
+		}
+		var v strings.Builder
+		j := 1
+		for ; j < len(s); j++ {
+			if s[j] == '\\' && j+1 < len(s) {
+				j++
+				switch s[j] {
+				case '\\':
+					v.WriteByte('\\')
+				case '"':
+					v.WriteByte('"')
+				case 'n':
+					v.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("unrecognized escape \\%c in label %s", s[j], k)
+				}
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			v.WriteByte(s[j])
+		}
+		if j >= len(s) {
+			return nil, fmt.Errorf("unterminated value for label %s", k)
+		}
+		labels[k] = v.String()
+		s = s[j+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// labelKey renders a label set minus one key, for grouping histogram
+// series.
+func labelKey(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	// Deterministic small-set sort.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}

@@ -237,10 +237,13 @@ type Tracer struct {
 	// by FeedCounters before any emission.
 	sink [kindCount]*metrics.Counter
 
-	// tap, when set, sees every event live at emission time (after
-	// timestamping, outside any buffer lock). It lets the chaos engine
-	// trigger faults off the event stream without polling.
-	tap atomic.Pointer[func(Event)]
+	// fan, when set, is the immutable live-consumer set: one optional
+	// synchronous tap (SetTap — the chaos engine triggers faults off it
+	// inline) plus any number of asynchronous Subscribers with bounded
+	// buffers (the introspection plane's /events stream). Published
+	// copy-on-write under mu; nil when nobody is listening, so the
+	// emit-path cost with no live consumers is one atomic load.
+	fan atomic.Pointer[fanout]
 
 	mu   sync.Mutex
 	bufs []*Buf
@@ -302,20 +305,27 @@ func (t *Tracer) JobBuf(job int) *Buf {
 // Enabled reports whether the tracer records events.
 func (t *Tracer) Enabled() bool { return t != nil }
 
-// SetTap installs fn as the live event tap: every subsequent Emit on any
-// of the tracer's buffers invokes fn with the stamped event, from the
-// emitting goroutine. fn must be fast and must not block — emitters sit
-// on hot paths (the master event loop, executor task loops). Pass nil to
-// remove the tap. Nil-safe.
+// SetTap installs fn as the synchronous live event tap: every
+// subsequent Emit on any of the tracer's buffers invokes fn with the
+// stamped event, from the emitting goroutine, before any asynchronous
+// subscriber sees it. fn must be fast and must not block — emitters sit
+// on hot paths (the master event loop, executor task loops). There is
+// one tap slot: installing a tap replaces the previous one, and passing
+// nil removes it. Asynchronous consumers that tolerate drops should use
+// Subscribe instead. Nil-safe.
 func (t *Tracer) SetTap(fn func(Event)) {
 	if t == nil {
 		return
 	}
-	if fn == nil {
-		t.tap.Store(nil)
-		return
-	}
-	t.tap.Store(&fn)
+	t.mu.Lock()
+	t.publishLocked(func(f *fanout) {
+		if fn == nil {
+			f.sync = nil
+		} else {
+			f.sync = &fn
+		}
+	})
+	t.mu.Unlock()
 }
 
 // Events merges every buffer into one stream ordered by virtual time
@@ -393,7 +403,12 @@ func (b *Buf) Emit(ev Event) {
 	b.mu.Lock()
 	b.evs = append(b.evs, ev)
 	b.mu.Unlock()
-	if fn := b.t.tap.Load(); fn != nil {
-		(*fn)(ev)
+	if f := b.t.fan.Load(); f != nil {
+		if f.sync != nil {
+			(*f.sync)(ev)
+		}
+		for _, s := range f.subs {
+			s.offer(ev)
+		}
 	}
 }

@@ -94,6 +94,13 @@ type Config struct {
 	// adds a background store per partition.
 	ReplicateStageOutputs bool
 
+	// OnManager, when non-nil, is called with the single-job manager
+	// right after it starts, before the job is submitted. Run/RunPlan
+	// construct their JobManager internally; this hook is how callers
+	// (padorun's -http flag) attach the live introspection plane to it.
+	// The manager is valid until Run/RunPlan returns.
+	OnManager func(*JobManager)
+
 	// Chaos, when non-nil, lets a fault-injection engine
 	// (internal/chaos) perturb the master's control plane — today, delay
 	// or duplicate the commit events relayed to receivers — to stress

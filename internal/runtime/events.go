@@ -40,6 +40,10 @@ type evSubmit struct{ j *jobRun }
 // the submitter gave up); the job finishes with a timed-out result.
 type evCancelJob struct{ ID int }
 
+// evInspect asks the loop to build a consistent state snapshot and
+// deliver it on reply (buffered, so the loop never blocks sending).
+type evInspect struct{ reply chan *ManagerState }
+
 // evReceiverReady reports that a reserved task is registered and can
 // accept pushes.
 type evReceiverReady struct {

@@ -128,6 +128,10 @@ type jobRun struct {
 	cfg  Config
 	met  *metrics.Job
 	tr   *obs.Buf // job-tagged trace buffer (nil = tracing off)
+	// Task-latency histograms, cached off met so the hot handlers skip
+	// the registry lookup: launch→computed and launch→commit, in ns.
+	histCompute *metrics.Histogram
+	histCommit  *metrics.Histogram
 
 	stages     []*stageRun
 	cacheIndex map[cacheKey]map[string]bool
@@ -166,6 +170,9 @@ type JobManager struct {
 	// is fed by collector goroutines; register/forget/tick run on the
 	// event loop.
 	fd *failureDetector
+	// g caches the fleet registry's live-introspection gauges; the loop
+	// refreshes them after every handled event (inspect.go).
+	g managerGauges
 
 	events chan event
 	// overflow carries the first "event queue full" error out of the
@@ -240,6 +247,7 @@ func newManager(cl *cluster.Cluster, mcfg ManagerConfig) *JobManager {
 	if !mcfg.Failure.DisableDetector {
 		jm.fd = newFailureDetector(mcfg.Failure)
 	}
+	jm.g = newManagerGauges(met)
 	return jm
 }
 
@@ -363,6 +371,8 @@ func (jm *JobManager) SubmitPlan(plan *core.Plan, cfg Config, opts JobOptions) (
 		t0:         time.Now(),
 		done:       make(chan struct{}),
 	}
+	j.histCompute = met.Histogram("task_compute_ns")
+	j.histCommit = met.Histogram("task_commit_ns")
 	for i, ps := range plan.Stages {
 		j.stages[i] = &stageRun{ps: ps}
 	}
@@ -412,6 +422,11 @@ func (jm *JobManager) run() {
 // departed jobs (stale executors, late results) drop harmlessly.
 func (jm *JobManager) handle(ev event) {
 	switch e := ev.(type) {
+	case evInspect:
+		// Snapshot requests see the state as of the events handled so
+		// far, and never trigger scheduling themselves.
+		e.reply <- jm.buildState()
+		return
 	case evSubmit:
 		jm.admitOrQueue(e.j)
 	case evCancelJob:
@@ -459,6 +474,7 @@ func (jm *JobManager) handle(ev event) {
 	}
 	jm.reapFinished()
 	jm.scheduleAll()
+	jm.updateGauges()
 }
 
 // admitOrQueue makes the admission decision for a newly submitted job.

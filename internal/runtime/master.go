@@ -37,6 +37,9 @@ type taskRun struct {
 	attempt int
 	exec    string
 	fails   int
+	// started stamps the current attempt's launch; the latency
+	// histograms (task_compute_ns, task_commit_ns) measure from it.
+	started time.Time
 }
 
 type fragRun struct {
@@ -412,6 +415,9 @@ func (jm *JobManager) onTaskComputed(j *jobRun, e evTaskComputed) {
 		return
 	}
 	t.state = tComputed
+	if !t.started.IsZero() {
+		j.histCompute.ObserveDuration(time.Since(t.started))
+	}
 	j.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: e.Exec})
 }
@@ -422,6 +428,9 @@ func (jm *JobManager) onOutputCommitted(j *jobRun, e evOutputCommitted) {
 		return
 	}
 	t.state = tCommitted
+	if !t.started.IsZero() {
+		j.histCommit.ObserveDuration(time.Since(t.started))
+	}
 	fr := s.frags[e.ref.Frag]
 	fr.nCommitted++
 	j.tr.Emit(obs.Event{Kind: obs.PushCommitted, Stage: s.ps.ID, Frag: e.ref.Frag,
@@ -775,6 +784,7 @@ func (jm *JobManager) launchPending(j *jobRun, p pendingTask, pool []string, loc
 	}
 	t.state = tRunning
 	t.exec = exec
+	t.started = time.Now()
 	jm.slotsFree[exec]--
 	j.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Frag: p.fi,
 		Task: p.ti, Attempt: t.attempt, Exec: exec})

@@ -1,0 +1,19 @@
+package testutil
+
+import (
+	"io"
+	"runtime/pprof"
+)
+
+// DumpGoroutines writes every goroutine's stack to w, at the given
+// pprof debug level (2 = full unaggregated stacks with goroutine
+// states, the level hang diagnosis needs). It is the dumper behind
+// Watchdog, exported so non-test surfaces — the introspection plane's
+// /debug/stacks endpoint — render the same evidence on demand.
+func DumpGoroutines(w io.Writer, debug int) error {
+	p := pprof.Lookup("goroutine")
+	if p == nil {
+		return nil
+	}
+	return p.WriteTo(w, debug)
+}

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime/pprof"
 	"testing"
 	"time"
 )
@@ -31,9 +30,7 @@ func watchdog(tb testing.TB, limit time.Duration, w io.Writer) {
 	timer := time.AfterFunc(limit, func() {
 		fmt.Fprintf(w, "\n=== watchdog: %s still running after %v; dumping goroutines ===\n",
 			tb.Name(), limit)
-		if p := pprof.Lookup("goroutine"); p != nil {
-			p.WriteTo(w, 2)
-		}
+		DumpGoroutines(w, 2)
 		fmt.Fprintf(w, "=== watchdog: end of dump for %s ===\n", tb.Name())
 	})
 	tb.Cleanup(func() { timer.Stop() })
