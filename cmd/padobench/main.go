@@ -36,6 +36,9 @@ func main() {
 	transient := flag.Int("transient", 40, "transient containers")
 	reserved := flag.Int("reserved", 5, "reserved containers")
 	size := flag.Float64("size", 1.0, "workload size factor")
+	tasks := flag.Int("tasks", 1,
+		"task fan-out multiplier: N times the partitions, each 1/N the records, "+
+			"holding data volume constant (control-plane scale cells)")
 	scaleMS := flag.Int("scale", 60, "wall milliseconds per paper minute")
 	timeout := flag.Float64("timeout", 90, "timeout in paper minutes")
 	seed := flag.Int64("seed", 424242, "experiment seed")
@@ -80,6 +83,7 @@ func main() {
 		Transient:      *transient,
 		Reserved:       *reserved,
 		Size:           *size,
+		Tasks:          *tasks,
 		Scale:          vtime.NewScale(time.Duration(*scaleMS) * time.Millisecond),
 		TimeoutMinutes: *timeout,
 		Seed:           *seed,

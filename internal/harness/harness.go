@@ -101,6 +101,13 @@ type Params struct {
 	// default; tests use smaller).
 	Size float64
 
+	// Tasks multiplies each workload's partition count while dividing
+	// the per-partition record volume by the same factor, holding total
+	// data roughly constant. It is a control-plane fan-out knob: a 10x
+	// cell runs ~10x the scheduling events over the same bytes, so it
+	// isolates master-loop cost from data-plane cost. Default 1.
+	Tasks int
+
 	// Policy names the placement policy for the Pado engine (see
 	// core.PolicyNames). Empty means the default paper rule. The Spark
 	// baselines have no placement layer and ignore it.
@@ -178,6 +185,9 @@ func (p Params) withDefaults() Params {
 	if p.Size == 0 {
 		p.Size = 1
 	}
+	if p.Tasks == 0 {
+		p.Tasks = 1
+	}
 	if p.Seed == 0 {
 		p.Seed = 424242
 	}
@@ -250,12 +260,26 @@ func (p Params) pipeline() *dataflow.Pipeline {
 		}
 		return v
 	}
+	// fan applies the Tasks multiplier: more partitions, each thinner,
+	// same total volume (the per-partition floor of 1 record keeps tiny
+	// Size cells valid).
+	fan := func(parts, per int) (int, int) {
+		if p.Tasks <= 1 {
+			return parts, per
+		}
+		per /= p.Tasks
+		if per < 1 {
+			per = 1
+		}
+		return parts * p.Tasks, per
+	}
 	switch p.Workload {
 	case WorkloadALS:
 		cfg := workloads.DefaultALSConfig()
 		cfg.RatingsPerPart = scale(cfg.RatingsPerPart)
 		cfg.Users = scale(cfg.Users)
 		cfg.Items = scale(cfg.Items)
+		cfg.Partitions, cfg.RatingsPerPart = fan(cfg.Partitions, cfg.RatingsPerPart)
 		return workloads.ALS(cfg)
 	case WorkloadMLR:
 		cfg := workloads.DefaultMLRConfig()
@@ -266,10 +290,12 @@ func (p Params) pipeline() *dataflow.Pipeline {
 			// Pado, where partial aggregation plays the tree's role.
 			cfg.TreeWidth = 0
 		}
+		cfg.Partitions, cfg.SamplesPerPart = fan(cfg.Partitions, cfg.SamplesPerPart)
 		return workloads.MLR(cfg)
 	default:
 		cfg := workloads.DefaultMRConfig()
 		cfg.LinesPerPart = scale(cfg.LinesPerPart)
+		cfg.Partitions, cfg.LinesPerPart = fan(cfg.Partitions, cfg.LinesPerPart)
 		return workloads.MR(cfg)
 	}
 }
@@ -502,6 +528,9 @@ func exportBase(p Params) string {
 	base := strings.ToLower(fmt.Sprintf("%s-%s-%s-seed%d", p.Engine, p.Workload, p.Rate, p.Seed))
 	if p.Engine == EnginePado && p.Policy != "" && p.Policy != (core.PaperRule{}).Name() {
 		base += "-" + p.Policy
+	}
+	if p.Tasks > 1 {
+		base += fmt.Sprintf("-tasks%d", p.Tasks)
 	}
 	return base
 }

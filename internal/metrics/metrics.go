@@ -75,6 +75,19 @@ const (
 	NameRPCRetryCausePrefix = "rpc_retries_"
 )
 
+// Control-plane scheduler counter names (dynamically minted on the
+// fleet registry). sched_rounds counts scheduling passes (one per
+// handled master event); sched_tasks_scanned counts tasks the assign
+// pass actually examined, so scanned/rounds exposes the per-event
+// scheduling cost the incremental scheduler keeps proportional to
+// changes; slot_index_hits counts saturated rounds answered by the
+// per-kind free-slot index without scanning the executor pool.
+const (
+	NameSchedRounds       = "sched_rounds"
+	NameSchedTasksScanned = "sched_tasks_scanned"
+	NameSlotIndexHits     = "slot_index_hits"
+)
+
 // Job aggregates counters for one job run. All fields are safe for
 // concurrent update, and the zero value is ready to use.
 type Job struct {

@@ -234,8 +234,9 @@ type Tracer struct {
 	start time.Time
 
 	// sink mirrors per-kind event counts into a metrics registry; wired
-	// by FeedCounters before any emission.
-	sink [kindCount]*metrics.Counter
+	// by FeedCounters. Atomic because an already-attached consumer (the
+	// chaos engine's injector) may Emit concurrently with the wiring.
+	sink [kindCount]atomic.Pointer[metrics.Counter]
 
 	// fan, when set, is the immutable live-consumer set: one optional
 	// synchronous tap (SetTap — the chaos engine triggers faults off it
@@ -268,7 +269,7 @@ func (t *Tracer) FeedCounters(reg *metrics.Job) {
 		return
 	}
 	for k := KindNone + 1; k < kindCount; k++ {
-		t.sink[k] = reg.Counter("obs." + k.String())
+		t.sink[k].Store(reg.Counter("obs." + k.String()))
 	}
 }
 
@@ -397,7 +398,7 @@ func (b *Buf) Emit(ev Event) {
 	if ev.Job == 0 {
 		ev.Job = b.job
 	}
-	if c := b.t.sink[ev.Kind]; c != nil {
+	if c := b.t.sink[ev.Kind].Load(); c != nil {
 		c.Add(1)
 	}
 	b.mu.Lock()

@@ -138,7 +138,7 @@ func (ex *Executor) dispatchBoundaries(ps *core.PhysStage, frag *core.Fragment, 
 			total += int64(len(buf))
 		}
 		_ = total
-		ex.send(evOutputCommitted{ref: ex.ref(spec)})
+		ex.send(newOutputCommitted(ex.ref(spec)))
 		return
 	}
 	ex.pushFrames(spec, frames)
@@ -196,7 +196,7 @@ func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
 		}
 		return
 	}
-	ex.send(evOutputCommitted{ref: ex.ref(spec)})
+	ex.send(newOutputCommitted(ex.ref(spec)))
 }
 
 // encodeFrameBlock / decodeFrameBlock serialize a pushFrame for the

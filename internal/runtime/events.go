@@ -70,6 +70,38 @@ type evTaskComputed struct {
 // pushed output (§3.2.5). The master forwards per-receiver commits.
 type evOutputCommitted struct{ ref taskRef }
 
+// evTaskComputed and evOutputCommitted are the two per-task events every
+// successful task emits, so they dominate event-channel allocation. They
+// travel as pooled pointers: senders build them with newTaskComputed /
+// newOutputCommitted, and the manager loop copies the value out and
+// returns the struct (putTaskComputed / putOutputCommitted) before
+// dispatching, so a handler can never observe reuse. A send dropped by a
+// stopping executor simply leaks the struct to the GC.
+var taskComputedPool = sync.Pool{New: func() any { return new(evTaskComputed) }}
+var outputCommittedPool = sync.Pool{New: func() any { return new(evOutputCommitted) }}
+
+func newTaskComputed(ref taskRef, exec string, cached []cacheKey) *evTaskComputed {
+	e := taskComputedPool.Get().(*evTaskComputed)
+	e.ref, e.Exec, e.Cached = ref, exec, cached
+	return e
+}
+
+func putTaskComputed(e *evTaskComputed) {
+	*e = evTaskComputed{}
+	taskComputedPool.Put(e)
+}
+
+func newOutputCommitted(ref taskRef) *evOutputCommitted {
+	e := outputCommittedPool.Get().(*evOutputCommitted)
+	e.ref = ref
+	return e
+}
+
+func putOutputCommitted(e *evOutputCommitted) {
+	*e = evOutputCommitted{}
+	outputCommittedPool.Put(e)
+}
+
 // evTaskFailed reports a fragment task error.
 type evTaskFailed struct {
 	ref   taskRef

@@ -450,7 +450,7 @@ func (ex *Executor) runTask(spec taskSpec) {
 
 	// Free the slot immediately: the master can schedule the next task
 	// while the output escapes on this goroutine (§3.2.4).
-	ex.send(evTaskComputed{ref: ex.ref(spec), Exec: ex.id, Cached: cached})
+	ex.send(newTaskComputed(ex.ref(spec), ex.id, cached))
 
 	if spec.Terminal {
 		ex.sendTerminal(ps, frag, spec, outs)
@@ -959,7 +959,7 @@ func (b *aggBuffer) push(tables []*exec.AccTable, cover []senderRef) {
 		}
 	}
 	for _, c := range cover {
-		ex.send(evOutputCommitted{ref: taskRef{Job: ex.job, Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt}})
+		ex.send(newOutputCommitted(taskRef{Job: ex.job, Stage: b.stage, Gen: b.gen, Frag: b.frag, Index: c.Index, Attempt: c.Attempt}))
 	}
 }
 

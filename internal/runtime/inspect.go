@@ -38,6 +38,28 @@ type ManagerState struct {
 	Queue    []QueuedJob    `json:"queue"`
 	Nodes    []NodeState    `json:"nodes"`
 	Breakers []BreakerState `json:"breakers"`
+
+	// Sched summarizes control-plane scheduling efficiency (additive in
+	// schema version 1; older pollers ignore it).
+	Sched SchedState `json:"sched"`
+}
+
+// SchedState is the incremental scheduler's efficiency summary: the
+// counter trio from the fleet registry plus the current runnable
+// backlog, so scanned/rounds can be read against how much work was
+// actually outstanding.
+type SchedState struct {
+	// Rounds is the number of scheduling passes (one per handled event).
+	Rounds int64 `json:"rounds"`
+	// TasksScanned is how many tasks the assignment pass examined across
+	// all rounds; TasksScanned/Rounds is the per-event scheduling cost.
+	TasksScanned int64 `json:"tasks_scanned"`
+	// SlotIndexHits counts saturated passes answered by the free-slot
+	// index without scanning the executor pool.
+	SlotIndexHits int64 `json:"slot_index_hits"`
+	// RunnableTasks is the current fleet-wide count of launchable tasks
+	// (waiting tasks of running stages).
+	RunnableTasks int `json:"runnable_tasks"`
 }
 
 // JobState is one admitted job's progress.
@@ -224,6 +246,15 @@ func (jm *JobManager) buildState() *ManagerState {
 		for _, b := range jm.pool.pol.inspect() {
 			st.Breakers = append(st.Breakers, b)
 		}
+	}
+
+	st.Sched = SchedState{
+		Rounds:        jm.cSchedRounds.Load(),
+		TasksScanned:  jm.cTasksScanned.Load(),
+		SlotIndexHits: jm.cSlotIndexHits.Load(),
+	}
+	for _, id := range jm.order {
+		st.Sched.RunnableTasks += jm.jobs[id].runnable.n
 	}
 	return st
 }
@@ -426,16 +457,8 @@ func (jm *JobManager) updateGauges() {
 		recv += jm.jobs[id].recvActive
 	}
 	jm.g.recvActive.Set(int64(recv))
-	var ft, fr int
-	for id, n := range jm.slotsFree {
-		if jm.kinds[id] == cluster.Reserved {
-			fr += n
-		} else {
-			ft += n
-		}
-	}
-	jm.g.slotsFreeT.Set(int64(ft))
-	jm.g.slotsFreeR.Set(int64(fr))
+	jm.g.slotsFreeT.Set(int64(jm.freeSlots[cluster.Transient]))
+	jm.g.slotsFreeR.Set(int64(jm.freeSlots[cluster.Reserved]))
 	jm.g.budgetFree.Set(int64(jm.budgetFree))
 	jm.g.nodesAlive.Set(int64(len(jm.hosts)))
 	if jm.fd != nil {

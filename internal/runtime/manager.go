@@ -112,6 +112,19 @@ func (h *JobHandle) Wait(ctx context.Context) (*Result, error) {
 	return h.j.result, h.j.err
 }
 
+// taskLauncher is the master's dispatch surface onto one per-job
+// executor: launch fragment tasks, start/cancel reserved receivers, and
+// relay commits. *Executor is the production implementation; scheduler
+// benchmarks and the legacy-oracle equivalence tests substitute
+// recording fakes so the control plane can be driven without a data
+// plane.
+type taskLauncher interface {
+	Launch(spec taskSpec)
+	StartReceiver(spec recvSpec)
+	CancelReceiver(stage, gen, idx int)
+	Commit(stage, gen, recvIdx int, c msgCommit)
+}
+
 // jobRun is the manager's per-job state: the compiled plan, the stage
 // state machines, per-job executors on each shared host, and the
 // fair-scheduling bookkeeping.
@@ -135,11 +148,20 @@ type jobRun struct {
 
 	stages     []*stageRun
 	cacheIndex map[cacheKey]map[string]bool
-	execs      map[string]*Executor
+	execs      map[string]taskLauncher
 	recvActive int
 	recvPeak   int
 	// deficit is the job's banked scheduling credit (DRR).
 	deficit float64
+
+	// Incremental scheduling state (sched.go): runnable tracks tWaiting
+	// tasks of sRunning stages over the dense task index, readyStages
+	// the pending stages whose waitParents counter hit zero. qNext is
+	// the job's dense-index cursor within one assignTasks round.
+	runnable    taskBitset
+	readyStages taskBitset
+	waitParents []int
+	qNext       int
 
 	finished bool
 	failErr  error
@@ -190,6 +212,18 @@ type JobManager struct {
 	rrRecv         int
 	rrJob          int
 	assignments    map[taskRef]string // outstanding slot holders
+	// freeSlots indexes total free slots per container kind
+	// (cluster.Reserved / cluster.Transient), kept in lockstep with
+	// slotsFree so pickExecutor detects a saturated pool in O(1).
+	freeSlots [2]int
+	// qScratch is assignTasks' per-round queue of runnable jobs, reused
+	// across rounds so steady-state scheduling allocates nothing.
+	qScratch []*jobRun
+	// Cached scheduler counters (metrics.go names; avoid per-event
+	// registry lookups on the hot path).
+	cSchedRounds   *metrics.Counter
+	cTasksScanned  *metrics.Counter
+	cSlotIndexHits *metrics.Counter
 
 	// Event-loop-confined job state. order lists admitted job ids in
 	// admission order and is the only iteration source for per-job
@@ -248,6 +282,9 @@ func newManager(cl *cluster.Cluster, mcfg ManagerConfig) *JobManager {
 		jm.fd = newFailureDetector(mcfg.Failure)
 	}
 	jm.g = newManagerGauges(met)
+	jm.cSchedRounds = met.Counter(metrics.NameSchedRounds)
+	jm.cTasksScanned = met.Counter(metrics.NameSchedTasksScanned)
+	jm.cSlotIndexHits = met.Counter(metrics.NameSlotIndexHits)
 	return jm
 }
 
@@ -367,7 +404,7 @@ func (jm *JobManager) SubmitPlan(plan *core.Plan, cfg Config, opts JobOptions) (
 		tr:         cfg.Tracer.JobBuf(id),
 		stages:     make([]*stageRun, len(plan.Stages)),
 		cacheIndex: make(map[cacheKey]map[string]bool),
-		execs:      make(map[string]*Executor),
+		execs:      make(map[string]taskLauncher),
 		t0:         time.Now(),
 		done:       make(chan struct{}),
 	}
@@ -376,6 +413,7 @@ func (jm *JobManager) SubmitPlan(plan *core.Plan, cfg Config, opts JobOptions) (
 	for i, ps := range plan.Stages {
 		j.stages[i] = &stageRun{ps: ps}
 	}
+	j.initSched()
 	j.tr.Emit(obs.Event{Kind: obs.PlanCompiled, Note: plan.Policy})
 	j.tr.Emit(obs.Event{Kind: obs.JobSubmitted, Note: name})
 	if demand > 0 {
@@ -447,13 +485,19 @@ func (jm *JobManager) handle(ev event) {
 		if j := jm.jobs[e.Job]; j != nil {
 			jm.onReceiverFailed(j, e)
 		}
-	case evTaskComputed:
-		if j := jm.jobs[e.ref.Job]; j != nil {
-			jm.onTaskComputed(j, e)
+	case *evTaskComputed:
+		// Pooled event (events.go): copy the value out and return the
+		// struct before dispatch so the handler can never observe reuse.
+		val := *e
+		putTaskComputed(e)
+		if j := jm.jobs[val.ref.Job]; j != nil {
+			jm.onTaskComputed(j, val)
 		}
-	case evOutputCommitted:
-		if j := jm.jobs[e.ref.Job]; j != nil {
-			jm.onOutputCommitted(j, e)
+	case *evOutputCommitted:
+		val := *e
+		putOutputCommitted(e)
+		if j := jm.jobs[val.ref.Job]; j != nil {
+			jm.onOutputCommitted(j, val)
 		}
 	case evTaskFailed:
 		if j := jm.jobs[e.ref.Job]; j != nil {
@@ -608,9 +652,7 @@ func (jm *JobManager) finishJob(j *jobRun) {
 	for ref, exec := range jm.assignments {
 		if ref.Job == j.id {
 			delete(jm.assignments, ref)
-			if _, alive := jm.slotsFree[exec]; alive {
-				jm.slotsFree[exec]++
-			}
+			jm.creditSlot(exec)
 		}
 	}
 	if jm.budgetTotal > 0 {

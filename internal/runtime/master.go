@@ -62,6 +62,10 @@ type stageRun struct {
 	gen      int
 	restarts int
 
+	// recvExecs is immutable for the life of a generation and shared by
+	// reference into every taskSpec.Receivers and recvSpec.Peers of that
+	// generation (executors and receivers only read it); resetStage
+	// replaces, never mutates, it.
 	recvExecs []string
 	recvReady []bool
 	nReady    int
@@ -69,6 +73,19 @@ type stageRun struct {
 	nDone     int
 
 	frags []*fragRun
+
+	// Dense task-index layout (sched.go): denseBase is the stage's
+	// offset in the job-wide index, fragOff the per-fragment offsets
+	// within the stage, nTasks the stage's fragment-task count. Fixed at
+	// submission.
+	denseBase int
+	fragOff   []int
+	nTasks    int
+	// inputLocs caches inputLocsFor for the current generation. Valid
+	// for the generation's lifetime: a parent's gen/outputExecs can only
+	// change via resetStage, and every path that resets a parent resets
+	// its running children too (§3.2.6), which clears this cache.
+	inputLocs map[int]stageLoc
 
 	// outputExecs locates the stage's output partitions once done.
 	outputExecs []string
@@ -112,13 +129,7 @@ func (jm *JobManager) onLaunched(c *cluster.Container) {
 	}
 	jm.tr.Emit(obs.Event{Kind: obs.ContainerUp, Exec: c.ID, Note: c.Kind.String()})
 	jm.hosts[c.ID] = h
-	jm.kinds[c.ID] = c.Kind
-	jm.slotsFree[c.ID] = c.Slots
-	if c.Kind == cluster.Transient {
-		jm.transientOrder = append(jm.transientOrder, c.ID)
-	} else {
-		jm.reservedOrder = append(jm.reservedOrder, c.ID)
-	}
+	jm.registerNode(c.ID, c.Kind, c.Slots)
 	// Every admitted job gets an executor on the new container.
 	for _, id := range jm.order {
 		jm.attachExecutor(jm.jobs[id], h)
@@ -126,6 +137,22 @@ func (jm *JobManager) onLaunched(c *cluster.Container) {
 	if jm.fd != nil {
 		jm.fd.register(c.ID, time.Now())
 		h.startHeartbeats(jm.net, "master", jm.cfg.Failure.heartbeatEvery(), jm.met)
+	}
+}
+
+// registerNode adds one container to the fleet's scheduling membership:
+// kind and slot tables plus the per-kind round-robin order. Shared by
+// the cluster callback and by scheduler tests/benchmarks that build a
+// fleet without live hosts, so both stay consistent with the free-slot
+// index.
+func (jm *JobManager) registerNode(id string, kind cluster.Kind, slots int) {
+	jm.kinds[id] = kind
+	jm.slotsFree[id] = slots
+	jm.freeSlots[kind] += slots
+	if kind == cluster.Transient {
+		jm.transientOrder = append(jm.transientOrder, id)
+	} else {
+		jm.reservedOrder = append(jm.reservedOrder, id)
 	}
 }
 
@@ -137,6 +164,9 @@ func (jm *JobManager) dropHost(id string) {
 		h.shutdown()
 	}
 	delete(jm.hosts, id)
+	if kind, ok := jm.kinds[id]; ok {
+		jm.freeSlots[kind] -= jm.slotsFree[id]
+	}
 	delete(jm.kinds, id)
 	delete(jm.slotsFree, id)
 	jm.transientOrder = slices.DeleteFunc(jm.transientOrder, func(x string) bool { return x == id })
@@ -194,7 +224,7 @@ func (jm *JobManager) recoverEvicted(id string) {
 			for fi, fr := range s.frags {
 				for ti, t := range fr.tasks {
 					if t.exec == id && t.state != tWaiting && t.state != tCommitted {
-						jm.requeue(j, t)
+						jm.requeue(j, s, fi, ti, t)
 						j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID,
 							Frag: fi, Task: ti, Attempt: t.attempt, Exec: id})
 					}
@@ -204,11 +234,17 @@ func (jm *JobManager) recoverEvicted(id string) {
 	}
 }
 
-func (jm *JobManager) requeue(j *jobRun, t *taskRun) {
+func (jm *JobManager) requeue(j *jobRun, s *stageRun, fi, ti int, t *taskRun) {
 	t.state = tWaiting
 	t.exec = ""
 	t.attempt++
 	j.met.RelaunchedTasks.Add(1)
+	// The runnable bit tracks tWaiting ∧ sRunning; a task requeued in a
+	// completed or resetting stage stays invisible to the scheduler,
+	// exactly like the legacy scanner's status check.
+	if s.status == sRunning {
+		j.runnable.set(s.denseIdx(fi, ti))
+	}
 }
 
 // onFailed implements §3.2.6 for every admitted job: identify stages
@@ -319,6 +355,14 @@ func (jm *JobManager) resetStage(j *jobRun, s *stageRun) {
 			jm.trackReceivers(j, -1)
 		}
 	}
+	if s.status == sRunning {
+		j.unmarkRunnable(s)
+	}
+	if s.status == sDone {
+		// Children counted this stage as a finished parent; undo that
+		// before it re-enters sPending.
+		jm.markStageUndone(j, s)
+	}
 	s.status = sPending
 	s.restarts++
 	s.recvExecs = nil
@@ -327,9 +371,11 @@ func (jm *JobManager) resetStage(j *jobRun, s *stageRun) {
 	s.recvDone = nil
 	s.nDone = 0
 	s.frags = nil
+	s.inputLocs = nil
 	s.outputExecs = nil
 	s.results = nil
 	s.nResults = 0
+	jm.recomputeReadiness(j, s)
 	if max := j.cfg.maxStageRestarts(); s.restarts > max {
 		jm.abort(j, fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, max))
 	}
@@ -366,9 +412,7 @@ func (jm *JobManager) taskAt(j *jobRun, ref taskRef) (*stageRun, *taskRun) {
 func (jm *JobManager) freeSlot(ref taskRef) {
 	if exec, ok := jm.assignments[ref]; ok {
 		delete(jm.assignments, ref)
-		if _, alive := jm.slotsFree[exec]; alive {
-			jm.slotsFree[exec]++
-		}
+		jm.creditSlot(exec)
 	}
 }
 
@@ -383,6 +427,9 @@ func (jm *JobManager) onReceiverReady(j *jobRun, e evReceiverReady) {
 		Task: e.Index, Exec: s.recvExecs[e.Index]})
 	if s.nReady == len(s.recvExecs) {
 		s.status = sRunning
+		// Every fragment task is still tWaiting here (only sRunning
+		// stages launch tasks), so the whole stage becomes runnable.
+		j.markRunnable(s)
 	}
 }
 
@@ -481,7 +528,7 @@ func (jm *JobManager) onTaskFailed(j *jobRun, e evTaskFailed) {
 	}
 	j.tr.Emit(obs.Event{Kind: obs.TaskFailed, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: e.ref.Attempt, Exec: t.exec, Note: e.Err.Error()})
-	jm.requeue(j, t)
+	jm.requeue(j, s, e.ref.Frag, e.ref.Index, t)
 	j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: t.attempt})
 }
@@ -494,7 +541,7 @@ func (jm *JobManager) onPullFailed(j *jobRun, e evPullFailed) {
 	if t.state == tCommitted {
 		s.frags[e.ref.Frag].nCommitted--
 	}
-	jm.requeue(j, t)
+	jm.requeue(j, s, e.ref.Frag, e.ref.Index, t)
 	j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: t.attempt, Note: "pull_failed"})
 }
@@ -511,6 +558,8 @@ func (jm *JobManager) onReservedTaskDone(j *jobRun, e evReservedTaskDone) {
 		Task: e.Index, Exec: s.recvExecs[e.Index], Bytes: e.Bytes})
 	if s.nDone == len(s.recvExecs) {
 		s.status = sDone
+		j.unmarkRunnable(s)
+		jm.markStageDone(j, s)
 		s.outputExecs = append([]string(nil), s.recvExecs...)
 		j.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
 		jm.replicateProgress(j)
@@ -540,6 +589,8 @@ func (jm *JobManager) onResult(j *jobRun, e evResult) {
 		Note: "result"})
 	if s.nResults == len(fr.tasks) {
 		s.status = sDone
+		j.unmarkRunnable(s)
+		jm.markStageDone(j, s)
 		j.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
 		jm.replicateProgress(j)
 		jm.checkAllDone(j)
@@ -555,37 +606,37 @@ func (jm *JobManager) checkAllDone(j *jobRun) {
 	j.finished = true
 }
 
-// scheduleAll starts pending stages whose parents completed (per job, in
-// admission order) and then assigns waiting tasks across jobs with the
-// weighted-fair scheduler.
+// scheduleAll starts ready pending stages (per job, in admission order)
+// and then assigns waiting tasks across jobs with the weighted-fair
+// scheduler. Unlike the pre-refactor full rescan, both passes walk
+// incrementally maintained sets (sched.go) — readyStages instead of a
+// status scan with per-stage parent checks, runnable bitsets instead of
+// per-round queue rebuilds — so an event that changed nothing costs
+// O(jobs), not O(total tasks).
 func (jm *JobManager) scheduleAll() {
+	jm.cSchedRounds.Add(1)
 	for _, id := range jm.order {
 		j := jm.jobs[id]
 		if j.finished {
 			continue
 		}
-		for _, s := range j.stages {
-			if s.status == sPending && jm.parentsDone(j, s) {
-				jm.startStage(j, s)
+		for sid := j.readyStages.next(0); sid >= 0; sid = j.readyStages.next(sid + 1) {
+			if jm.startStage(j, j.stages[sid]) {
+				j.readyStages.clear(sid)
 			}
 		}
 	}
 	jm.assignTasks()
 }
 
-func (jm *JobManager) parentsDone(j *jobRun, s *stageRun) bool {
-	for _, pid := range s.ps.Parents {
-		if j.stages[pid].status != sDone {
-			return false
-		}
-	}
-	return true
-}
-
-func (jm *JobManager) startStage(j *jobRun, s *stageRun) {
+// startStage launches one ready stage's generation. It reports false
+// when the stage must keep waiting (a reserved-root stage with no
+// reserved container yet), in which case it stays in readyStages and is
+// retried on later passes.
+func (jm *JobManager) startStage(j *jobRun, s *stageRun) bool {
 	ps := s.ps
 	if ps.RootReserved && len(jm.reservedOrder) == 0 {
-		return // wait for a reserved container
+		return false // wait for a reserved container
 	}
 	s.gen++
 	note := ""
@@ -619,7 +670,10 @@ func (jm *JobManager) startStage(j *jobRun, s *stageRun) {
 		for _, f := range ps.Fragments {
 			expected += f.Parallelism
 		}
-		locs := jm.inputLocsFor(j, ps)
+		// Input locations are cached for the generation's lifetime (see
+		// the stageRun.inputLocs invariant) and shared by reference into
+		// every receiver and task spec.
+		s.inputLocs = jm.inputLocsFor(j, ps)
 		// Reserved tasks are scheduled and set up first so they can
 		// receive pushed outputs (§3.2.3).
 		s.status = sStartingReceivers
@@ -630,15 +684,17 @@ func (jm *JobManager) startStage(j *jobRun, s *stageRun) {
 			j.execs[s.recvExecs[i]].StartReceiver(recvSpec{
 				Stage: ps.ID, Gen: s.gen, Index: i,
 				Expected:  expected,
-				InputLocs: locs,
+				InputLocs: s.inputLocs,
 				PullMode:  j.cfg.PullBoundaries,
-				Peers:     append([]string(nil), s.recvExecs...),
+				Peers:     s.recvExecs,
 			})
 		}
 	} else {
 		s.results = make([][]byte, ps.Fragments[ps.RootFragment].Parallelism)
 		s.nResults = 0
+		s.inputLocs = jm.inputLocsFor(j, ps)
 		s.status = sRunning
+		j.markRunnable(s)
 	}
 
 	if s.gen == 1 {
@@ -646,6 +702,7 @@ func (jm *JobManager) startStage(j *jobRun, s *stageRun) {
 	} else {
 		j.met.RelaunchedTasks.Add(int64(total))
 	}
+	return true
 }
 
 func (jm *JobManager) inputLocsFor(j *jobRun, ps *core.PhysStage) map[int]stageLoc {
@@ -665,19 +722,6 @@ func (jm *JobManager) inputLocsFor(j *jobRun, ps *core.PhysStage) map[int]stageL
 // while cannot later monopolize the fleet in one burst.
 const maxDeficitRounds = 4
 
-// pendingTask locates one waiting fragment task.
-type pendingTask struct {
-	s      *stageRun
-	fi, ti int
-}
-
-// jobQueue is one job's runnable-task queue for a scheduling round.
-type jobQueue struct {
-	j     *jobRun
-	tasks []pendingTask
-	next  int
-}
-
 // assignTasks hands waiting fragment tasks to executors. With a single
 // runnable job it degenerates to the classic greedy pass:
 // cache-preferred placement first, then round-robin over free slots
@@ -687,77 +731,78 @@ type jobQueue struct {
 // divide proportionally to weight and a large job cannot starve a small
 // one. Unspent credit (no free slot, or weight < 1) carries to the next
 // round, capped at weight*maxDeficitRounds.
+//
+// The queues are the per-job runnable bitsets: iteration follows dense
+// (stage, fragment, task) order, identical to the legacy per-round
+// rescan, and a job is exhausted when its cursor passes its last set
+// bit. qScratch reuses one backing array for the round's queue list so
+// the steady state allocates nothing.
 func (jm *JobManager) assignTasks() {
 	pool := jm.transientOrder
+	kind := cluster.Transient
 	if len(pool) == 0 && jm.cl.TransientConfigured() == 0 {
 		pool = jm.reservedOrder
+		kind = cluster.Reserved
 	}
 	if len(pool) == 0 {
 		return
 	}
 
-	var queues []*jobQueue
+	queues := jm.qScratch[:0]
 	for _, id := range jm.order {
 		j := jm.jobs[id]
-		if j.finished {
+		if j.finished || j.runnable.empty() {
 			continue
 		}
-		var tasks []pendingTask
-		for _, s := range j.stages {
-			if s.status != sRunning {
-				continue
-			}
-			for fi, fr := range s.frags {
-				for ti, t := range fr.tasks {
-					if t.state == tWaiting {
-						tasks = append(tasks, pendingTask{s: s, fi: fi, ti: ti})
-					}
-				}
-			}
-		}
-		if len(tasks) > 0 {
-			queues = append(queues, &jobQueue{j: j, tasks: tasks})
-		}
+		j.qNext = 0
+		queues = append(queues, j)
 	}
+	jm.qScratch = queues
+	defer func() {
+		for i := range queues {
+			queues[i] = nil // drop jobRun refs so finished jobs are collectable
+		}
+	}()
 	if len(queues) == 0 {
 		return
 	}
-	locs := make(map[*stageRun]map[int]stageLoc)
 
 	if len(queues) == 1 {
 		// Single runnable job: no fairness to arbitrate.
-		q := queues[0]
-		q.j.deficit = 0
-		for _, p := range q.tasks {
-			if !jm.launchPending(q.j, p, pool, locs) {
+		j := queues[0]
+		j.deficit = 0
+		for di := j.runnable.next(j.qNext); di >= 0; di = j.runnable.next(j.qNext) {
+			if !jm.launchDense(j, di, pool, kind) {
 				return // no free slots anywhere
 			}
+			j.qNext = di + 1
 		}
 		return
 	}
 
 	idle := 0
 	for idle < len(queues) {
-		q := queues[jm.rrJob%len(queues)]
+		j := queues[jm.rrJob%len(queues)]
 		jm.rrJob++
-		if q.next >= len(q.tasks) {
-			q.j.deficit = 0
+		di := j.runnable.next(j.qNext)
+		if di < 0 {
+			j.deficit = 0
 			idle++
 			continue
 		}
-		q.j.deficit += q.j.weight
-		if limit := q.j.weight * maxDeficitRounds; q.j.deficit > limit {
-			q.j.deficit = limit
+		j.deficit += j.weight
+		if limit := j.weight * maxDeficitRounds; j.deficit > limit {
+			j.deficit = limit
 		}
 		progressed := false
-		for q.j.deficit >= 1 && q.next < len(q.tasks) {
-			p := q.tasks[q.next]
-			if !jm.launchPending(q.j, p, pool, locs) {
+		for j.deficit >= 1 && di >= 0 {
+			if !jm.launchDense(j, di, pool, kind) {
 				return // no free slots anywhere; credit persists
 			}
-			q.j.deficit--
-			q.next++
+			j.deficit--
+			j.qNext = di + 1
 			progressed = true
+			di = j.runnable.next(j.qNext)
 		}
 		if progressed {
 			idle = 0
@@ -765,52 +810,60 @@ func (jm *JobManager) assignTasks() {
 	}
 }
 
-// launchPending launches one waiting task if a slot is free; it reports
-// false only when the whole fleet is out of slots.
-func (jm *JobManager) launchPending(j *jobRun, p pendingTask, pool []string, locsCache map[*stageRun]map[int]stageLoc) bool {
-	s := p.s
-	t := s.frags[p.fi].tasks[p.ti]
-	if t.state != tWaiting {
-		return true
-	}
-	exec := jm.pickExecutor(j, pool, s.ps, s.ps.Fragments[p.fi], p.ti)
+// launchDense launches the waiting task at dense index di if a slot is
+// free; it reports false only when the whole fleet is out of slots.
+func (jm *JobManager) launchDense(j *jobRun, di int, pool []string, kind cluster.Kind) bool {
+	jm.cTasksScanned.Add(1)
+	s, fi, ti := j.locate(di)
+	t := s.frags[fi].tasks[ti]
+	exec := jm.pickExecutor(j, pool, kind, s.ps, s.ps.Fragments[fi], ti)
 	if exec == "" {
 		return false
 	}
-	locs := locsCache[s]
-	if locs == nil {
-		locs = jm.inputLocsFor(j, s.ps)
-		locsCache[s] = locs
-	}
+	j.runnable.clear(di)
 	t.state = tRunning
 	t.exec = exec
 	t.started = time.Now()
 	jm.slotsFree[exec]--
-	j.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Frag: p.fi,
-		Task: p.ti, Attempt: t.attempt, Exec: exec})
-	ref := taskRef{Job: j.id, Stage: s.ps.ID, Gen: s.gen, Frag: p.fi, Index: p.ti, Attempt: t.attempt}
+	jm.freeSlots[kind]--
+	j.tr.Emit(obs.Event{Kind: obs.TaskLaunched, Stage: s.ps.ID, Frag: fi,
+		Task: ti, Attempt: t.attempt, Exec: exec})
+	ref := taskRef{Job: j.id, Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt}
 	jm.assignments[ref] = exec
 	j.execs[exec].Launch(taskSpec{
-		Stage: s.ps.ID, Gen: s.gen, Frag: p.fi, Index: p.ti, Attempt: t.attempt,
-		InputLocs: locs,
-		Receivers: append([]string(nil), s.recvExecs...),
+		Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt,
+		InputLocs: s.inputLocs,
+		Receivers: s.recvExecs,
 		Terminal:  !s.ps.RootReserved,
 	})
 	return true
 }
 
 // pickExecutor prefers an executor that has any of the task's cacheable
-// inputs cached (§3.2.7 cache-aware scheduling), then falls back to
-// round-robin over executors with free slots.
-func (jm *JobManager) pickExecutor(j *jobRun, pool []string, ps *core.PhysStage, frag *core.Fragment, taskIdx int) string {
+// inputs cached (§3.2.7 cache-aware scheduling; ties broken by lowest
+// executor id so placement is deterministic), then falls back to
+// round-robin over executors with free slots. A saturated pool is
+// detected from the per-kind free-slot index without scanning it; the
+// round-robin cursor still advances by the scan length so launch
+// positions match the legacy full scan exactly.
+func (jm *JobManager) pickExecutor(j *jobRun, pool []string, kind cluster.Kind, ps *core.PhysStage, frag *core.Fragment, taskIdx int) string {
 	if !j.cfg.DisableCache {
 		for _, key := range taskCacheKeys(j.plan, ps, frag, taskIdx) {
+			best := ""
 			for exID := range j.cacheIndex[key] {
-				if jm.slotsFree[exID] > 0 && slices.Contains(pool, exID) {
-					return exID
+				if jm.slotsFree[exID] > 0 && jm.kinds[exID] == kind && (best == "" || exID < best) {
+					best = exID
 				}
 			}
+			if best != "" {
+				return best
+			}
 		}
+	}
+	if jm.freeSlots[kind] == 0 {
+		jm.cSlotIndexHits.Add(1)
+		jm.rrTask += len(pool)
+		return ""
 	}
 	for i := 0; i < len(pool); i++ {
 		exID := pool[jm.rrTask%len(pool)]

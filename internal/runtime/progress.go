@@ -134,14 +134,14 @@ const replicationFactor = 2
 // the progress metadata"). Failures are ignored: the snapshot is
 // advisory and the next stage completion re-replicates.
 func (jm *JobManager) replicateProgress(j *jobRun) {
-	snap := j.snapshotProgress()
+	if len(jm.reservedOrder) == 0 {
+		return // no replication targets; skip the snapshot allocation too
+	}
 	targets := make([]string, 0, replicationFactor)
 	for i := 0; i < len(jm.reservedOrder) && i < replicationFactor; i++ {
 		targets = append(targets, jm.reservedOrder[i])
 	}
-	if len(targets) == 0 {
-		return
-	}
+	snap := j.snapshotProgress()
 	pool := jm.pool
 	blockID := progressBlockID(j.id)
 	go func() {

@@ -1,0 +1,248 @@
+package runtime
+
+// Incremental scheduling state. The legacy scheduler rescanned every
+// job × stage × fragment × task on every master event; the structures
+// here make each event's scheduling cost proportional to what the event
+// changed instead (DESIGN.md §13):
+//
+//   - jobRun.runnable is a two-level bitset over the job's dense task
+//     index. A bit is set exactly when its task is tWaiting inside an
+//     sRunning stage — the condition the old per-round queue rebuild
+//     tested for every task. Tasks enter on stage start and requeue,
+//     and leave on launch or stage reset, so assignTasks iterates only
+//     launchable work, in the same (stage, fragment, task) order the
+//     rescan produced.
+//   - jobRun.waitParents counts each pending stage's unfinished
+//     parents; jobRun.readyStages holds the pending stages whose count
+//     is zero. Stage completion decrements its children (O(children));
+//     stage reset recomputes the one affected counter (O(parents)).
+//   - JobManager.freeSlots tracks free slots per container kind so a
+//     saturated fleet is detected in O(1) instead of a full
+//     round-robin pool scan per task.
+//
+// The structures are bookkeeping only: every scheduling decision still
+// reads the same underlying state (task states, stage statuses,
+// slotsFree, the rr cursors) in the same order, and the legacy-oracle
+// equivalence tests (sched_oracle_test.go) hold launch logs
+// byte-identical against the pre-refactor scheduler.
+
+import "math/bits"
+
+const bitsetShift = 6 // 64-bit words
+
+// taskBitset is a two-level bitset with a popcount-maintained size: a
+// summary word tracks which base words are non-empty, so next() skips
+// runs of empty words 64 at a time and an idle 100k-task job costs a
+// handful of word reads per scheduling pass.
+type taskBitset struct {
+	words   []uint64
+	summary []uint64 // bit w set ⟺ words[w] != 0
+	n       int      // number of set bits
+}
+
+// reset sizes the bitset for `size` bits and clears it.
+func (b *taskBitset) reset(size int) {
+	nw := (size + 63) >> bitsetShift
+	ns := (nw + 63) >> bitsetShift
+	b.words = make([]uint64, nw)
+	b.summary = make([]uint64, ns)
+	b.n = 0
+}
+
+func (b *taskBitset) empty() bool { return b.n == 0 }
+
+func (b *taskBitset) set(i int) {
+	w := i >> bitsetShift
+	mask := uint64(1) << (uint(i) & 63)
+	if b.words[w]&mask != 0 {
+		return
+	}
+	b.words[w] |= mask
+	b.summary[w>>bitsetShift] |= 1 << (uint(w) & 63)
+	b.n++
+}
+
+func (b *taskBitset) clear(i int) {
+	w := i >> bitsetShift
+	mask := uint64(1) << (uint(i) & 63)
+	if b.words[w]&mask == 0 {
+		return
+	}
+	b.words[w] &^= mask
+	if b.words[w] == 0 {
+		b.summary[w>>bitsetShift] &^= 1 << (uint(w) & 63)
+	}
+	b.n--
+}
+
+// setRange sets bits [lo, hi).
+func (b *taskBitset) setRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.set(i)
+	}
+}
+
+// clearRange clears bits [lo, hi).
+func (b *taskBitset) clearRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.clear(i)
+	}
+}
+
+// next returns the smallest set bit ≥ from, or -1.
+func (b *taskBitset) next(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> bitsetShift
+	if w >= len(b.words) {
+		return -1
+	}
+	// Tail of the word containing `from`.
+	if rem := b.words[w] >> (uint(from) & 63); rem != 0 {
+		return from + bits.TrailingZeros64(rem)
+	}
+	// Jump via the summary level.
+	w++
+	sw := w >> bitsetShift
+	if sw < len(b.summary) {
+		if rem := b.summary[sw] >> (uint(w) & 63); rem != 0 {
+			w += bits.TrailingZeros64(rem)
+			return w<<bitsetShift + bits.TrailingZeros64(b.words[w])
+		}
+		sw++
+	}
+	for ; sw < len(b.summary); sw++ {
+		if s := b.summary[sw]; s != 0 {
+			w = sw<<bitsetShift + bits.TrailingZeros64(s)
+			return w<<bitsetShift + bits.TrailingZeros64(b.words[w])
+		}
+	}
+	return -1
+}
+
+// initSched lays out the job's dense task index (stage-major, fragment
+// order, matching the legacy rescan order exactly) and primes the
+// stage-readiness counters. Called once at submission; the plan's stage
+// and fragment shape is immutable afterwards.
+func (j *jobRun) initSched() {
+	base := 0
+	for _, s := range j.stages {
+		s.denseBase = base
+		s.fragOff = make([]int, len(s.ps.Fragments))
+		off := 0
+		for i, f := range s.ps.Fragments {
+			s.fragOff[i] = off
+			off += f.Parallelism
+		}
+		s.nTasks = off
+		base += off
+	}
+	j.runnable.reset(base)
+	j.readyStages.reset(len(j.stages))
+	j.waitParents = make([]int, len(j.stages))
+	for i, s := range j.stages {
+		j.waitParents[i] = len(s.ps.Parents) // Parents are deduplicated by the planner
+		if j.waitParents[i] == 0 {
+			j.readyStages.set(i)
+		}
+	}
+}
+
+// denseIdx maps one fragment task to the job-wide dense index.
+func (s *stageRun) denseIdx(fi, ti int) int {
+	return s.denseBase + s.fragOff[fi] + ti
+}
+
+// locate inverts denseIdx. Stages are few and laid out in id order, so
+// a linear scan beats a search structure; launches are bounded by slot
+// count, not task count.
+func (j *jobRun) locate(di int) (s *stageRun, fi, ti int) {
+	for _, st := range j.stages {
+		if di < st.denseBase+st.nTasks {
+			s = st
+			break
+		}
+	}
+	off := di - s.denseBase
+	fi = len(s.fragOff) - 1
+	for fi > 0 && s.fragOff[fi] > off {
+		fi--
+	}
+	return s, fi, off - s.fragOff[fi]
+}
+
+// markRunnable flags every task of a stage that just entered sRunning.
+// All of its tasks are tWaiting at that transition: assignTasks only
+// scans sRunning stages, so nothing can have launched while the stage
+// was pending or starting receivers.
+func (j *jobRun) markRunnable(s *stageRun) {
+	j.runnable.setRange(s.denseBase, s.denseBase+s.nTasks)
+}
+
+// unmarkRunnable drops every task of a stage leaving sRunning (reset or
+// completion). Requeued-but-unlaunched tasks of a completed stage keep
+// their tWaiting state but must not be scheduled, exactly like the
+// legacy scanner's status != sRunning skip.
+func (j *jobRun) unmarkRunnable(s *stageRun) {
+	j.runnable.clearRange(s.denseBase, s.denseBase+s.nTasks)
+}
+
+// markStageDone updates child readiness after s completed. Only pending
+// children track counters; anything else recomputes its own count if it
+// is ever reset back to pending.
+func (jm *JobManager) markStageDone(j *jobRun, s *stageRun) {
+	for _, cid := range s.ps.Children {
+		c := j.stages[cid]
+		if c.status != sPending {
+			continue
+		}
+		j.waitParents[cid]--
+		if j.waitParents[cid] == 0 {
+			j.readyStages.set(cid)
+		}
+	}
+}
+
+// markStageUndone reverses markStageDone when a previously-done stage is
+// reset (reserved-container loss, §3.2.6).
+func (jm *JobManager) markStageUndone(j *jobRun, s *stageRun) {
+	for _, cid := range s.ps.Children {
+		c := j.stages[cid]
+		if c.status != sPending {
+			continue
+		}
+		if j.waitParents[cid] == 0 {
+			j.readyStages.clear(cid)
+		}
+		j.waitParents[cid]++
+	}
+}
+
+// recomputeReadiness re-derives one stage's own readiness from live
+// parent statuses; called when the stage returns to sPending, where
+// O(parents) is the exact cost the incremental counters promise.
+func (jm *JobManager) recomputeReadiness(j *jobRun, s *stageRun) {
+	n := 0
+	for _, pid := range s.ps.Parents {
+		if j.stages[pid].status != sDone {
+			n++
+		}
+	}
+	id := s.ps.ID
+	j.waitParents[id] = n
+	if n == 0 {
+		j.readyStages.set(id)
+	} else {
+		j.readyStages.clear(id)
+	}
+}
+
+// creditSlot returns one slot to a still-live executor and the per-kind
+// free-slot index.
+func (jm *JobManager) creditSlot(exec string) {
+	if _, alive := jm.slotsFree[exec]; alive {
+		jm.slotsFree[exec]++
+		jm.freeSlots[jm.kinds[exec]]++
+	}
+}
