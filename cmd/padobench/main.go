@@ -21,8 +21,10 @@ import (
 
 	"pado/internal/core"
 	"pado/internal/harness"
+	"pado/internal/metrics"
 	"pado/internal/profile"
 	"pado/internal/runtime"
+	"pado/internal/storage"
 	"pado/internal/trace"
 	"pado/internal/vtime"
 )
@@ -63,6 +65,12 @@ func main() {
 	httpAddr := flag.String("http", "",
 		"serve the live introspection plane on this address while the run is up "+
 			"(pado engine only; e.g. 127.0.0.1:7777, :0 picks a port; monitor with padotop)")
+	incr := flag.Bool("incr", false,
+		"delta-rerun cell: run pado/mr once to prime a commit store, change -incr-delta of the "+
+			"input, rerun against the store, and fail unless the rerun launched under 10% of the "+
+			"first run's tasks (the report, if -reportdir is set, is the rerun's)")
+	incrDelta := flag.Float64("incr-delta", 0.02,
+		"with -incr: fraction of the input partitions changed between the two runs")
 	flag.Parse()
 
 	prof, err := profile.Start(*cpuProfile, *memProfile)
@@ -109,6 +117,11 @@ func main() {
 
 	if *jobs > 0 {
 		runJobs(base, *jobs, *mix, *rate, *stagger, *requireSpeedup)
+		return
+	}
+
+	if *incr {
+		runIncr(base, *rate, *incrDelta)
 		return
 	}
 
@@ -169,6 +182,68 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runIncr drives the delta-rerun cell: two pado/mr runs against one
+// commit store, the second with a fraction of the input changed. The
+// gate is the tentpole's acceptance bound — the rerun may launch fewer
+// than 10% of the priming run's tasks; everything else is served from
+// the store.
+func runIncr(base harness.Params, rate string, delta float64) {
+	p := base
+	p.Engine = harness.EnginePado
+	p.Workload = harness.WorkloadMR
+	p.Repeats = 1 // repeats reseed the input, which would defeat the store
+	// The launch gate needs the traced obs.task_launched counter:
+	// OriginalTasks counts a stage's full task total at schedule time,
+	// before skips are applied, so it is blind to incremental reruns.
+	p.ForceTrace = true
+	var ok bool
+	if p.Rate, ok = parseRate(rate); !ok {
+		fatalf("unknown rate %q", rate)
+	}
+	store := storage.NewCommitStore()
+	p.CommitStore = store
+
+	prime := p
+	prime.ReportDir = "" // the cell's report is the rerun's
+	out1, err := harness.Run(prime)
+	if err != nil {
+		fatalf("priming run: %v", err)
+	}
+	st := store.Stats()
+	fmt.Printf("prime: %s\n  store: %d manifests, %d chunks, %d bytes\n", out1, st.Manifests, st.Chunks, st.UsedBytes)
+	if out1.TimedOut {
+		fatalf("FAIL: priming run timed out")
+	}
+
+	p.InputDelta = delta
+	p.DeltaSalt = 1
+	out2, err := harness.Run(p)
+	if err != nil {
+		fatalf("delta rerun: %v", err)
+	}
+	m := out2.Metrics.Named
+	launched1 := out1.Metrics.Named["obs.task_launched"]
+	launched2 := m["obs.task_launched"]
+	fmt.Printf("rerun: %s\n", out2)
+	fmt.Printf("  delta=%.1f%%: launched %d of %d tasks; %d/%d probes hit, %d stages + %d tasks skipped, %dB served\n",
+		delta*100, launched2, launched1,
+		m[metrics.NameCommitHits], m[metrics.NameCommitProbes],
+		m[metrics.NameStagesSkipped], m[metrics.NameTasksSkipped], m[metrics.NameCASBytesServed])
+	if out2.ReportPath != "" {
+		fmt.Printf("  report: %s\n", out2.ReportPath)
+	}
+	if out2.TimedOut {
+		fatalf("FAIL: delta rerun timed out")
+	}
+	if m[metrics.NameTasksSkipped]+m[metrics.NameStagesSkipped] == 0 {
+		fatalf("FAIL: delta rerun skipped nothing")
+	}
+	if launched2*10 >= launched1 {
+		fatalf("FAIL: delta rerun launched %d of %d tasks (bound: under 10%%)",
+			launched2, launched1)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"pado/internal/obs/analyze"
 	"pado/internal/profile"
 	"pado/internal/runtime"
+	"pado/internal/storage"
 	"pado/internal/trace"
 	"pado/internal/vtime"
 	"pado/internal/workloads"
@@ -65,6 +66,12 @@ func main() {
 	httpAddr := flag.String("http", "",
 		"serve the live introspection plane on this address while the run is up "+
 			"(pado engine only; e.g. 127.0.0.1:7777, :0 picks a port; monitor with padotop)")
+	incremental := flag.Bool("incremental", false,
+		"pado engine only: prime a commit store with one identical run, then run (and report) "+
+			"the incremental rerun against it — unchanged stages and tasks are served from the store")
+	delta := flag.Float64("delta", 0,
+		"with -incremental: fraction of the MR input partitions changed between the priming "+
+			"run and the rerun (0 = identical input)")
 	flag.Parse()
 
 	prof, err := profile.Start(*cpuProfile, *memProfile)
@@ -99,23 +106,18 @@ func main() {
 		fatalf("unknown rate %q", *rate)
 	}
 
-	var pipe *dataflow.Pipeline
-	switch strings.ToLower(*workload) {
-	case "mr":
-		cfg := workloads.DefaultMRConfig()
-		cfg.Partitions, cfg.LinesPerPart = 16, 2000
-		pipe = workloads.MR(cfg)
-	case "mlr":
-		cfg := workloads.DefaultMLRConfig()
-		cfg.Partitions, cfg.SamplesPerPart = 16, 40
-		pipe = workloads.MLR(cfg)
-	case "als":
-		cfg := workloads.DefaultALSConfig()
-		cfg.Partitions, cfg.RatingsPerPart = 16, 600
-		pipe = workloads.ALS(cfg)
-	default:
+	if *incremental && strings.ToLower(*engine) != "pado" {
+		fatalf("-incremental needs -engine pado (the baselines have no commit store)")
+	}
+	if *delta != 0 && !*incremental {
+		fatalf("-delta only makes sense with -incremental")
+	}
+	if !isWorkload(*workload) {
 		fatalf("unknown workload %q", *workload)
 	}
+	// The reported run carries the input delta (dirty partitions salted);
+	// the priming run below always sees the clean input.
+	pipe := buildPipe(*workload, *delta, 1)
 
 	pol, err := core.PolicyByName(*policy)
 	if err != nil {
@@ -141,7 +143,7 @@ func main() {
 	}
 
 	if *showPlan || *dot {
-		plan, err := core.Compile(clone(pipe, *workload).Graph(), planCfg)
+		plan, err := core.Compile(buildPipe(*workload, *delta, 1).Graph(), planCfg)
 		if err != nil {
 			fatalf("compile: %v", err)
 		}
@@ -191,6 +193,29 @@ func main() {
 		}
 		if chaosEngine != nil {
 			cfg.Chaos = chaosEngine
+		}
+		if *incremental {
+			store := storage.NewCommitStore()
+			cfg.Commits = store
+			// Task-level commits need content-stable boundary payloads, so
+			// the incremental path runs on raw boundaries.
+			cfg.DisablePartialAggregation = true
+			// Prime: an identical clean-input run on its own cluster fills
+			// the store, then the reported run below reruns against it.
+			primeCfg := cfg
+			primeCfg.Tracer = nil
+			primeCfg.Chaos = nil
+			primeCl, err := cluster.New(clCfg)
+			if err != nil {
+				fatalf("cluster: %v", err)
+			}
+			res, err := runtime.Run(ctx, primeCl, buildPipe(*workload, 0, 0).Graph(), primeCfg)
+			if err != nil {
+				fatalf("priming run: %v", err)
+			}
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "primed commit store: %v wall, %d manifests, %d chunks, %d bytes\n",
+				res.Metrics.JCT.Round(time.Millisecond), st.Manifests, st.Chunks, st.UsedBytes)
 		}
 		if *httpAddr != "" {
 			// The manager only exists inside runtime.Run; OnManager hands
@@ -284,6 +309,14 @@ func main() {
 
 	fmt.Printf("engine=%s workload=%s rate=%s: jct=%.1f paper-min (%v wall), evictions=%d, relaunched=%d\n",
 		*engine, *workload, r, scale.Minutes(jct), jct.Round(time.Millisecond), evictions, relaunched)
+	if *incremental {
+		fmt.Printf("incremental rerun (delta=%.0f%%): %d/%d probes hit, %d stages + %d tasks skipped, "+
+			"%d tasks of compute avoided, %dB served from the commit store\n",
+			*delta*100,
+			snap.Named[metrics.NameCommitHits], snap.Named[metrics.NameCommitProbes],
+			snap.Named[metrics.NameStagesSkipped], snap.Named[metrics.NameTasksSkipped],
+			snap.Named[metrics.NameComputeAvoidedTasks], snap.Named[metrics.NameCASBytesServed])
+	}
 	if chaosEngine != nil {
 		chaosEngine.Stop()
 		for _, inj := range chaosEngine.Injections() {
@@ -306,10 +339,20 @@ func main() {
 	}
 }
 
-// clone rebuilds the pipeline (plans mutate vertex state, so the run gets
-// a fresh graph).
-func clone(p *dataflow.Pipeline, workload string) *dataflow.Pipeline {
-	switch workload {
+func isWorkload(name string) bool {
+	switch strings.ToLower(name) {
+	case "mr", "mlr", "als":
+		return true
+	}
+	return false
+}
+
+// buildPipe builds a fresh pipeline for the workload (plans mutate vertex
+// state, so every compile or run gets its own graph). deltaFrac/salt dirty
+// that fraction of the MR input between incremental runs; the iterative
+// workloads' inputs aren't partition-versioned and ignore them.
+func buildPipe(workload string, deltaFrac float64, salt int64) *dataflow.Pipeline {
+	switch strings.ToLower(workload) {
 	case "mlr":
 		cfg := workloads.DefaultMLRConfig()
 		cfg.Partitions, cfg.SamplesPerPart = 16, 40
@@ -321,6 +364,8 @@ func clone(p *dataflow.Pipeline, workload string) *dataflow.Pipeline {
 	default:
 		cfg := workloads.DefaultMRConfig()
 		cfg.Partitions, cfg.LinesPerPart = 16, 2000
+		cfg.DeltaFrac = deltaFrac
+		cfg.DeltaSalt = salt
 		return workloads.MR(cfg)
 	}
 }

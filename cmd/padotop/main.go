@@ -149,6 +149,16 @@ func render(w io.Writer, addr string, st *runtime.ManagerState) {
 		st.Sched.Rounds, st.Sched.TasksScanned, perRound,
 		st.Sched.SlotIndexHits, st.Sched.RunnableTasks)
 
+	if s := st.Store; s != nil {
+		hitRate := 0.0
+		if s.Hits+s.Misses > 0 {
+			hitRate = 100 * float64(s.Hits) / float64(s.Hits+s.Misses)
+		}
+		fmt.Fprintf(w, "\nSTORE  %d chunks / %d manifests, %s resident  probes %d hit / %d miss (%.0f%%)  commits=%d dedup=%d  gc %d runs / %d collected\n",
+			s.Chunks, s.Manifests, fmtBytes(s.UsedBytes),
+			s.Hits, s.Misses, hitRate, s.Commits, s.DedupPuts, s.GCRuns, s.GCCollected)
+	}
+
 	byKind := map[string][]runtime.NodeState{}
 	for _, n := range st.Nodes {
 		byKind[n.Kind] = append(byKind[n.Kind], n)
@@ -196,6 +206,18 @@ func render(w io.Writer, addr string, st *runtime.ManagerState) {
 		}
 		fmt.Fprintf(w, "  %-12s %-9s fails=%d retry-budget=%.2f\n",
 			b.Dest, b.State, b.Fails, b.RetryBudget)
+	}
+}
+
+// fmtBytes renders a byte count compactly.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 10<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 10<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
 	}
 }
 

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"pado/internal/dag"
+	"pado/internal/data"
+	"pado/internal/dataflow"
+)
+
+// Operator fingerprints and stage cache keys.
+//
+// Every vertex gets a deterministic *structural* fingerprint — a hash of
+// its name, kind, operator shape (type, coders, cost, side inputs),
+// parallelism, and the structural fingerprints of its upstream vertices
+// with the connecting dependency types and tags. Two vertices share a
+// structural fingerprint exactly when they compute the same function of
+// their inputs the same way.
+//
+// On top of that, each vertex gets a *data* fingerprint that additionally
+// folds in the identity of the source data feeding it: partition
+// fingerprints from FingerprintedSource for reads, the encoded records
+// for in-memory creates. A stage's CacheKey is the data fingerprint of
+// its root — H(operator fingerprint, input identities) — so
+// cache-key equality means "same computation over the same input",
+// which is what licenses serving the stage's output from the commit
+// store instead of recomputing it.
+//
+// Function bodies are not hashed (Go cannot introspect a closure):
+// operator identity comes from the vertex name plus operator shape.
+// Changing a ParDo's logic without renaming the vertex will NOT
+// invalidate cached results — the documented contract is to rename the
+// operator (or change the source fingerprints) when semantics change.
+//
+// A source without fingerprints poisons everything downstream of it: the
+// data fingerprint becomes "" along every path it feeds, and a stage with
+// CacheKey "" is never probed or committed. Pipelines that opt out of
+// fingerprinting therefore behave exactly as before this layer existed.
+
+// fpHash hashes length-prefixed parts so no concatenation of distinct
+// part lists collides.
+func fpHash(parts ...string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func coderName(c data.Coder) string {
+	if c == nil {
+		return ""
+	}
+	return c.Name()
+}
+
+// opDescriptor captures the operator's shape: everything about how it
+// transforms records except its position in the graph and its input data.
+func opDescriptor(v *dag.Vertex) string {
+	switch op := v.Op.(type) {
+	case *dataflow.CreateOp:
+		return fpHash("create", coderName(op.Coder))
+	case *dataflow.ReadOp:
+		return fpHash("read", coderName(op.Coder),
+			fmt.Sprintf("cached=%t cost=%d", op.Cached, op.Cost))
+	case *dataflow.ParDoOp:
+		parts := []string{"pardo", fmt.Sprintf("%T", op.Fn), coderName(op.OutCoder),
+			fmt.Sprintf("cacheInput=%t cost=%d", op.CacheInput, op.Cost)}
+		for _, s := range op.Sides {
+			parts = append(parts, fmt.Sprintf("side=%s cached=%t", s.Name, s.Cached))
+		}
+		return fpHash(parts...)
+	case *dataflow.CombineOp:
+		return fpHash("combine", fmt.Sprintf("%T", op.Fn),
+			coderName(op.InCoder), coderName(op.OutCoder), coderName(op.AccCoder),
+			fmt.Sprintf("global=%t cost=%d", op.Global, op.Cost))
+	case *dataflow.MultiOp:
+		return fpHash("multi", fmt.Sprintf("%T", op.Fn), coderName(op.OutCoder),
+			fmt.Sprintf("n=%d", op.NumInputs))
+	default:
+		return fpHash("op", fmt.Sprintf("%T", v.Op))
+	}
+}
+
+// sourceDataFP returns the identity of the data a source vertex
+// introduces. ok=false means the source cannot be fingerprinted, which
+// disables caching downstream. Non-source vertices contribute "" with
+// ok=true (they introduce no data of their own).
+func sourceDataFP(v *dag.Vertex) (fp string, ok bool) {
+	switch op := v.Op.(type) {
+	case *dataflow.CreateOp:
+		b, err := data.EncodeAll(op.Coder, op.Records)
+		if err != nil {
+			return "", false
+		}
+		return fpHash("create-data", string(b)), true
+	case *dataflow.ReadOp:
+		fs, isFP := op.Source.(dataflow.FingerprintedSource)
+		if !isFP {
+			return "", false
+		}
+		n := op.Source.NumPartitions()
+		parts := make([]string, 0, n+1)
+		parts = append(parts, "read-data")
+		for p := 0; p < n; p++ {
+			pf := fs.PartitionFingerprint(p)
+			if pf == "" {
+				return "", false
+			}
+			parts = append(parts, pf)
+		}
+		return fpHash(parts...), true
+	}
+	return "", true
+}
+
+// computeCacheKeys annotates the plan's stages with cache keys and, for
+// source-only stages, per-task cache keys. It never fails: vertices whose
+// identity cannot be established simply get no key.
+func computeCacheKeys(g *dag.Graph, plan *Plan) error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	structFP := make(map[dag.VertexID]string, len(order))
+	dataFP := make(map[dag.VertexID]string, len(order))
+	for _, id := range order {
+		v := g.Vertex(id)
+		ins := append([]dag.Edge(nil), g.InEdges(id)...)
+		sort.Slice(ins, func(i, j int) bool {
+			if ins[i].From != ins[j].From {
+				return ins[i].From < ins[j].From
+			}
+			return ins[i].Tag < ins[j].Tag
+		})
+		parts := []string{"vertex", v.Name, v.Kind.String(),
+			fmt.Sprintf("par=%d", v.Parallelism), opDescriptor(v)}
+		for _, e := range ins {
+			parts = append(parts, structFP[e.From], e.Dep.String(), e.Tag)
+		}
+		structFP[id] = fpHash(parts...)
+
+		src, ok := sourceDataFP(v)
+		if !ok {
+			dataFP[id] = ""
+			continue
+		}
+		dparts := []string{"data", structFP[id], src}
+		known := true
+		for _, e := range ins {
+			if dataFP[e.From] == "" {
+				known = false
+				break
+			}
+			dparts = append(dparts, dataFP[e.From])
+		}
+		if !known {
+			dataFP[id] = ""
+			continue
+		}
+		dataFP[id] = fpHash(dparts...)
+	}
+
+	for _, ps := range plan.Stages {
+		// Only reserved roots materialize per-partition outputs the
+		// commit path can store and later serve; terminal transient
+		// stages stream straight to the sink and stay uncached.
+		if !ps.RootReserved {
+			continue
+		}
+		ps.CacheKey = dataFP[ps.Root]
+		computeTaskKeys(g, ps, structFP)
+	}
+	return nil
+}
+
+// computeTaskKeys assigns per-task cache keys to the fragments of a
+// source-only stage: each task's output is a pure function of the stage's
+// structure and its own source partition, so a rerun where only a few
+// partitions changed can skip the unchanged tasks individually even when
+// the stage-level key (which covers ALL partitions) misses.
+func computeTaskKeys(g *dag.Graph, ps *PhysStage, structFP map[dag.VertexID]string) {
+	if len(ps.Inputs) > 0 || len(ps.Fragments) == 0 {
+		return
+	}
+	keys := make([][]string, len(ps.Fragments))
+	any := false
+	for i, f := range ps.Fragments {
+		// The fragment must be a single chain rooted at one
+		// fingerprinted source: its first op reads the source, and no
+		// other op introduces data.
+		op, isRead := g.Vertex(f.Ops[0]).Op.(*dataflow.ReadOp)
+		if !isRead {
+			continue
+		}
+		fs, isFP := op.Source.(dataflow.FingerprintedSource)
+		if !isFP || op.Source.NumPartitions() != f.Parallelism {
+			continue
+		}
+		chain := true
+		for _, id := range f.Ops[1:] {
+			if len(g.InEdges(id)) != 1 {
+				chain = false
+				break
+			}
+		}
+		if !chain {
+			continue
+		}
+		ks := make([]string, f.Parallelism)
+		complete := true
+		for t := range ks {
+			pf := fs.PartitionFingerprint(t)
+			if pf == "" {
+				complete = false
+				break
+			}
+			// The root's structural fingerprint covers the whole
+			// stage shape, including receiver parallelism — so a
+			// repartitioned rerun can never alias a task key.
+			ks[t] = fpHash("task", structFP[ps.Root], fmt.Sprintf("frag=%d", f.Index), pf)
+		}
+		if complete {
+			keys[i] = ks
+			any = true
+		}
+	}
+	if any {
+		ps.TaskKeys = keys
+	}
+}

@@ -146,5 +146,8 @@ func Compile(g *dag.Graph, cfg PlanConfig) (*Plan, error) {
 		return nil, err
 	}
 	plan.Policy = pol.Name()
+	if err := computeCacheKeys(g, plan); err != nil {
+		return nil, err
+	}
 	return plan, nil
 }

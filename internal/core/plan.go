@@ -104,6 +104,18 @@ type PhysStage struct {
 	// Parents and Children are stage ids, ascending.
 	Parents  []int
 	Children []int
+	// CacheKey identifies this stage's output in the commit store:
+	// H(operator fingerprints, source data identity) over the whole
+	// upstream cone. "" (stage not cacheable — an unfingerprinted
+	// source upstream, or a transient root) disables commit-store
+	// probes and writes for the stage. See fingerprint.go.
+	CacheKey string
+	// TaskKeys, for source-only stages, holds one cache key per task
+	// ([fragment][task]); a nil inner slice means that fragment's tasks
+	// are not individually cacheable. Task keys let a rerun skip the
+	// unchanged tasks of a stage whose stage-level key missed because a
+	// few source partitions changed.
+	TaskKeys [][]string
 }
 
 // Terminal reports whether the stage has no children (its output is the

@@ -107,6 +107,20 @@ func (it *sliceIter) Next() (data.Record, bool, error) {
 
 func (it *sliceIter) Close() error { return nil }
 
+// FingerprintedSource is a Source whose partition contents can be
+// identified without reading them. The compiler folds partition
+// fingerprints into stage cache keys, which is what lets a rerun prove
+// "this input is the same as last time" and skip the stages computed
+// from it (incremental re-execution).
+type FingerprintedSource interface {
+	Source
+	// PartitionFingerprint returns a stable identifier for the current
+	// content of one partition — same content, same fingerprint; any
+	// content change, a different fingerprint. "" means unknown, which
+	// disables caching for everything downstream of this source.
+	PartitionFingerprint(p int) string
+}
+
 // FuncSource generates partition contents on demand from a deterministic
 // generator function, standing in for large external datasets without
 // materializing them.
@@ -115,6 +129,10 @@ type FuncSource struct {
 	// Gen returns the records of one partition. It must be
 	// deterministic: re-reads after evictions must see identical data.
 	Gen func(partition int) []data.Record
+	// Fingerprint, if set, identifies one partition's content without
+	// generating it (see FingerprintedSource). It must change whenever
+	// Gen's output for that partition changes.
+	Fingerprint func(partition int) string
 }
 
 // NumPartitions implements Source.
@@ -123,4 +141,13 @@ func (s *FuncSource) NumPartitions() int { return s.Partitions }
 // Open implements Source.
 func (s *FuncSource) Open(p int) (Iterator, error) {
 	return &sliceIter{recs: s.Gen(p)}, nil
+}
+
+// PartitionFingerprint implements FingerprintedSource. Sources without a
+// Fingerprint function report "" (unknown).
+func (s *FuncSource) PartitionFingerprint(p int) string {
+	if s.Fingerprint == nil {
+		return ""
+	}
+	return s.Fingerprint(p)
 }

@@ -224,7 +224,11 @@ func Run(ctx context.Context, cl *cluster.Cluster, g *dag.Graph, cfg Config) (*R
 		if err := m.ckSvc.Start(); err != nil {
 			return nil, err
 		}
-		m.driverCk = storage.NewClient(m.net, "master", m.ckSvc)
+		// Pooled transport: checkpoint traffic reuses one stream per
+		// storage node instead of dialing per block.
+		ckt := storage.NewPoolTransport(m.net, "master")
+		defer ckt.Close()
+		m.driverCk = storage.NewClientTransport(ckt, m.ckSvc)
 	}
 
 	start := time.Now()
@@ -243,6 +247,9 @@ loop:
 
 	if m.failErr != nil {
 		return nil, m.failErr
+	}
+	if m.ckSvc != nil {
+		met.Gauge(metrics.GaugeStorageUsedBytes).Set(m.ckSvc.UsedBytes())
 	}
 	res := &Result{Plan: plan, Metrics: met.Snapshot(jct, timedOut)}
 	if timedOut {
@@ -294,7 +301,9 @@ func (m *master) onLaunched(c *cluster.Container) {
 	}
 	var ck *storage.Client
 	if m.ckSvc != nil {
-		ck = storage.NewClient(m.net, c.ID, m.ckSvc)
+		// Per-executor pooled transport; its streams die with the
+		// container's node, so eviction cleans up naturally.
+		ck = storage.NewClientTransport(storage.NewPoolTransport(m.net, c.ID), m.ckSvc)
 	}
 	ex, err := newExecutor(c.ID, c.Node, m.net, m.plan, m.cfg, m.met, m.events, ck, c.CPU)
 	if err != nil {

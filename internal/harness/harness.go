@@ -28,6 +28,7 @@ import (
 	"pado/internal/obs"
 	"pado/internal/obs/analyze"
 	"pado/internal/runtime"
+	"pado/internal/storage"
 	"pado/internal/trace"
 	"pado/internal/vtime"
 	"pado/internal/workloads"
@@ -124,6 +125,22 @@ type Params struct {
 	// defaults-on; see runtime.FailureConfig for the knobs and their
 	// false-positive trade-offs.
 	Failure runtime.FailureConfig
+
+	// CommitStore, when non-nil, turns on incremental re-execution
+	// (DESIGN.md §14) on the Pado engine: the run probes the store for
+	// prior commits of its stages/tasks before launching anything and
+	// writes its own outputs back. Handing the SAME store to a later Run
+	// is what makes the rerun incremental; the Spark baselines ignore it.
+	CommitStore *storage.CommitStore
+
+	// InputDelta marks that fraction of the MR workload's input
+	// partitions dirty (content salted by DeltaSalt), simulating an
+	// incremental input update between runs against one CommitStore.
+	// Zero (the default) leaves the input identical run to run. MR only:
+	// the iterative workloads' inputs aren't partition-versioned.
+	InputDelta float64
+	// DeltaSalt versions the dirty partitions' content.
+	DeltaSalt int64
 
 	// PadoConfig mutates the Pado runtime configuration (ablations).
 	PadoConfig func(*runtime.Config)
@@ -296,6 +313,8 @@ func (p Params) pipeline() *dataflow.Pipeline {
 		cfg := workloads.DefaultMRConfig()
 		cfg.LinesPerPart = scale(cfg.LinesPerPart)
 		cfg.Partitions, cfg.LinesPerPart = fan(cfg.Partitions, cfg.LinesPerPart)
+		cfg.DeltaFrac = p.InputDelta
+		cfg.DeltaSalt = p.DeltaSalt
 		return workloads.MR(cfg)
 	}
 }
@@ -489,6 +508,13 @@ func (p Params) padoRuntimeConfig(tracer *obs.Tracer, engine *chaos.Engine) (run
 	cfg.Plan.Env = p.clusterConfig().PlacementEnv()
 	cfg.AggMaxDelay = p.Scale.Wall(0.1)
 	cfg.Failure = p.Failure
+	if p.CommitStore != nil {
+		cfg.Commits = p.CommitStore
+		// Task-level commits need content-stable boundary payloads;
+		// partially aggregated frames fold nondeterministic task covers
+		// together, so the incremental path runs on raw boundaries.
+		cfg.DisablePartialAggregation = true
+	}
 	if p.PadoConfig != nil {
 		p.PadoConfig(&cfg)
 	}
@@ -531,6 +557,9 @@ func exportBase(p Params) string {
 	}
 	if p.Tasks > 1 {
 		base += fmt.Sprintf("-tasks%d", p.Tasks)
+	}
+	if p.InputDelta > 0 {
+		base += fmt.Sprintf("-delta%g", p.InputDelta)
 	}
 	return base
 }

@@ -37,6 +37,16 @@ const (
 	GaugeBreakersOpen      = "breakers_open"
 )
 
+// Commit-store gauge names: live size of the content-addressed commit
+// store the manager serves (chunk and manifest counts, resident bytes).
+// storage_used_bytes is also set by the sparklike engine from its
+// checkpoint Service, so both storage planes surface under one name.
+const (
+	GaugeCASChunks        = "cas_chunks"
+	GaugeCASManifests     = "cas_manifests"
+	GaugeStorageUsedBytes = "storage_used_bytes"
+)
+
 // Gauge returns the gauge registered under name, minting it on first
 // use. Gauges live in their own registry beside the named counters and
 // histograms, sharing the Job's mutex.

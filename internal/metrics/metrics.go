@@ -75,6 +75,26 @@ const (
 	NameRPCRetryCausePrefix = "rpc_retries_"
 )
 
+// Incremental re-execution counter names (dynamically minted on the job
+// registry). The probe pair counts commit-store lookups at submission
+// (stage- and task-level together); stages_skipped / tasks_skipped count
+// work served from the store instead of launched; compute_avoided_tasks
+// counts the tasks a skipped stage would have launched (fragment tasks
+// plus receivers). The byte pair measures CAS traffic: served covers
+// chunk reads (skipped-stage fetches and skipped-task pulls), written
+// covers chunk writes on the commit path.
+const (
+	NameCommitProbes        = "commit_probes"
+	NameCommitHits          = "commit_hits"
+	NameCommitMisses        = "commit_misses"
+	NameCommitWrites        = "commit_writes"
+	NameStagesSkipped       = "stages_skipped"
+	NameTasksSkipped        = "tasks_skipped"
+	NameComputeAvoidedTasks = "compute_avoided_tasks"
+	NameCASBytesServed      = "cas_bytes_served"
+	NameCASBytesWritten     = "cas_bytes_written"
+)
+
 // Control-plane scheduler counter names (dynamically minted on the
 // fleet registry). sched_rounds counts scheduling passes (one per
 // handled master event); sched_tasks_scanned counts tasks the assign

@@ -158,6 +158,31 @@ type FailureDetection struct {
 	RPCDeadlineHits int64 `json:"rpc_deadline_hits"`
 }
 
+// Cache is the incremental re-execution section: what the run's probe
+// against the commit store found and what compute the hits avoided
+// (DESIGN.md §14). Omitted entirely when the run had no commit-store
+// activity, keeping non-incremental reports byte-identical to the prior
+// schema.
+type Cache struct {
+	// Probes/Hits/Misses count commit-store lookups at submission,
+	// stage- and task-level together; Writes counts manifests this run
+	// committed back.
+	Probes int64 `json:"probes"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Writes int64 `json:"writes"`
+	// StagesSkipped/TasksSkipped count work served from the store
+	// instead of launched; ComputeAvoidedTasks is the task count a
+	// skipped stage would have run (fragment tasks plus receivers).
+	StagesSkipped       int64 `json:"stages_skipped"`
+	TasksSkipped        int64 `json:"tasks_skipped"`
+	ComputeAvoidedTasks int64 `json:"compute_avoided_tasks"`
+	// CAS traffic: chunk reads (skipped-stage fetches, skipped-task
+	// pulls) and chunk writes on the commit path.
+	CASBytesServed  int64 `json:"cas_bytes_served"`
+	CASBytesWritten int64 `json:"cas_bytes_written"`
+}
+
 // Report is the analyzer's verdict over one run. All fields are plain
 // values or slices in deterministic order, so encoding the same report
 // twice yields identical bytes.
@@ -189,9 +214,11 @@ type Report struct {
 	Waste    Waste    `json:"waste"`
 	// Detection is present only when the run's failure-handling plane
 	// did something worth reporting (see FailureDetection).
-	Detection  *FailureDetection `json:"detection,omitempty"`
-	Stages     []StageReport     `json:"stages"`
-	Stragglers []Straggler       `json:"stragglers,omitempty"`
+	Detection *FailureDetection `json:"detection,omitempty"`
+	// Cache is present only when the run touched a commit store.
+	Cache      *Cache        `json:"cache,omitempty"`
+	Stages     []StageReport `json:"stages"`
+	Stragglers []Straggler   `json:"stragglers,omitempty"`
 }
 
 // Analyze builds a Report from a merged event stream (Tracer.Events
@@ -252,6 +279,7 @@ func Analyze(events []obs.Event, opts Options) *Report {
 	r.CritPath = critPathSection(segs)
 	r.Waste = wasteSection(m)
 	r.Detection = detectionSection(m, opts.Snapshot)
+	r.Cache = cacheSection(opts.Snapshot)
 	r.Stages, r.Stragglers = stageSection(m, opts.StragglerK)
 	return r
 }
@@ -283,6 +311,29 @@ func detectionSection(m *model, snap *metrics.Snapshot) *FailureDetection {
 		return nil
 	}
 	return d
+}
+
+// cacheSection assembles the incremental re-execution report from the
+// run's counters, or nil when the run never touched a commit store.
+func cacheSection(snap *metrics.Snapshot) *Cache {
+	if snap == nil {
+		return nil
+	}
+	c := &Cache{
+		Probes:              snap.Named[metrics.NameCommitProbes],
+		Hits:                snap.Named[metrics.NameCommitHits],
+		Misses:              snap.Named[metrics.NameCommitMisses],
+		Writes:              snap.Named[metrics.NameCommitWrites],
+		StagesSkipped:       snap.Named[metrics.NameStagesSkipped],
+		TasksSkipped:        snap.Named[metrics.NameTasksSkipped],
+		ComputeAvoidedTasks: snap.Named[metrics.NameComputeAvoidedTasks],
+		CASBytesServed:      snap.Named[metrics.NameCASBytesServed],
+		CASBytesWritten:     snap.Named[metrics.NameCASBytesWritten],
+	}
+	if c.Probes == 0 && c.Writes == 0 && c.CASBytesServed == 0 && c.CASBytesWritten == 0 {
+		return nil
+	}
+	return c
 }
 
 // sortedAttempts returns every attempt in deterministic order: by
@@ -763,6 +814,17 @@ func (r *Report) WriteText(w io.Writer) error {
 				d.RPCRetries, d.RPCDeadlineHits, dur(d.RPCBackoffNS)); err != nil {
 				return err
 			}
+		}
+	}
+
+	if c := r.Cache; c != nil {
+		if err := p("cache: %d/%d probes hit; skipped %d stages, %d tasks (%d tasks of compute avoided)\n",
+			c.Hits, c.Probes, c.StagesSkipped, c.TasksSkipped, c.ComputeAvoidedTasks); err != nil {
+			return err
+		}
+		if err := p("  commit store: %s served, %s written, %d manifests committed\n",
+			kb(c.CASBytesServed), kb(c.CASBytesWritten), c.Writes); err != nil {
+			return err
 		}
 	}
 

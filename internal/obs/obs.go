@@ -120,6 +120,13 @@ const (
 	BreakerOpened
 	BreakerClosed
 
+	// Incremental re-execution (DESIGN.md §14). StageSkipped marks a
+	// stage served whole from the commit store (it is followed by a
+	// StageComplete but never a StageScheduled); TaskSkipped marks one
+	// fragment task whose output was served from a task-level commit.
+	StageSkipped
+	TaskSkipped
+
 	kindCount // sentinel: number of kinds
 )
 
@@ -156,6 +163,8 @@ var kindNames = [kindCount]string{
 	NodeDeclaredDead: "node_declared_dead",
 	BreakerOpened:    "breaker_opened",
 	BreakerClosed:    "breaker_closed",
+	StageSkipped:     "stage_skipped",
+	TaskSkipped:      "task_skipped",
 }
 
 // kindByName inverts kindNames, built once on first ParseKind call.

@@ -196,6 +196,14 @@ func (ex *Executor) pushFrames(spec taskSpec, frames []*pushFrame) {
 		}
 		return
 	}
+	// Content-addressable task: write the acknowledged sections to the
+	// commit store before reporting the commit, so a later run can skip
+	// this task (commitplane.go). Best-effort and ordered before the
+	// commit event: a "task/" manifest must never exist for data whose
+	// push wasn't acknowledged.
+	if spec.TaskKey != "" && ex.cas != nil {
+		ex.commitTaskChunks(spec, frames)
+	}
 	ex.send(newOutputCommitted(ex.ref(spec)))
 }
 

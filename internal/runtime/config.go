@@ -29,6 +29,7 @@ import (
 
 	"pado/internal/core"
 	"pado/internal/obs"
+	"pado/internal/storage"
 )
 
 // Config parameterizes the runtime.
@@ -100,6 +101,15 @@ type Config struct {
 	// (padorun's -http flag) attach the live introspection plane to it.
 	// The manager is valid until Run/RunPlan returns.
 	OnManager func(*JobManager)
+
+	// Commits, when non-nil, enables incremental re-execution: the
+	// manager serves this content-addressed commit store over dedicated
+	// simnet nodes, probes it with the plan's stage/task cache keys at
+	// submission (skipping work whose output is already stored), and
+	// writes finished reserved-stage outputs back into it. The store
+	// object outlives individual runs, which is what lets a rerun with
+	// mostly-unchanged inputs skip the unchanged cone (DESIGN.md §14).
+	Commits *storage.CommitStore
 
 	// Chaos, when non-nil, lets a fault-injection engine
 	// (internal/chaos) perturb the master's control plane — today, delay

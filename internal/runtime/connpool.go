@@ -9,6 +9,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/metrics"
 	"pado/internal/simnet"
+	"pado/internal/storage"
 )
 
 // connPool reuses simnet connections across data-plane operations issued
@@ -136,9 +137,19 @@ func (p *connPool) closeAll() {
 
 // isProtocolErr reports errors that are negative responses from a healthy
 // peer (respNo) rather than transport failures: the connection is still
-// usable and retrying would only repeat the answer.
+// usable and retrying would only repeat the answer. storage.ErrNotFound is
+// in the set so commit-store misses — a routine answer during incremental
+// probing — keep their connections pooled instead of tripping breakers.
 func isProtocolErr(err error) bool {
-	return errorsIs(err, errPushRejected) || errorsIs(err, errBlockNotFound)
+	return errorsIs(err, errPushRejected) || errorsIs(err, errBlockNotFound) ||
+		errorsIs(err, storage.ErrNotFound{})
+}
+
+// Do implements storage.Transport, so storage clients (checkpoint blocks,
+// commit-store chunks and manifests) ride the pooled, policy-wrapped
+// connection fabric instead of dialing fresh simnet streams per operation.
+func (p *connPool) Do(op, to string, fn func(e *data.Encoder, d *data.Decoder) error) error {
+	return p.doOp(op, to, opFunc(fn))
 }
 
 // do runs one request/response operation against dest under the generic

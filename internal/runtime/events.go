@@ -115,11 +115,15 @@ type evTaskFailed struct {
 type evPullFailed struct{ ref taskRef }
 
 // evReservedTaskDone reports a finalized reserved task whose output
-// partition now lives in its executor's local store.
+// partition now lives in its executor's local store. Chunk, when
+// non-empty, is the content hash under which the partition's payload was
+// also written to the commit store; the master assembles the per-stage
+// chunk list into a commit manifest once the stage completes.
 type evReservedTaskDone struct {
 	Job, Stage, Gen, Index int
 	Exec                   string
 	Bytes                  int64
+	Chunk                  string
 }
 
 // evResult carries a terminal transient task's output pushed to the
@@ -149,6 +153,18 @@ func (m *mailbox) put(v any) {
 	case m.sig <- struct{}{}:
 	default:
 	}
+}
+
+// tryGet returns the next queued message without blocking.
+func (m *mailbox) tryGet() (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
 }
 
 // get returns the next message, blocking until one arrives or either stop

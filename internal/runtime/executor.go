@@ -283,6 +283,11 @@ type Executor struct {
 	flight *recache.Flight
 	cpu    *simnet.Limiter // the host's limiter; nil = unlimited
 	pool   *connPool       // outbound data-plane connection reuse
+	// cas is the executor's commit-store client (nil when the manager has
+	// no commit plane), sharing the pooled transport above: receivers put
+	// finalized partitions and pull skipped-task sections through it,
+	// senders put raw-path task chunks (commitplane.go).
+	cas *storage.CommitClient
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -296,11 +301,16 @@ type recvKey struct{ Stage, Gen, Index int }
 type aggKey struct{ Stage, Gen, Frag int }
 
 func newExecutor(job int, h *nodeHost, net *simnet.Network, plan *core.Plan, cfg Config,
-	met *metrics.Job, events chan<- event, masterID string, fcfg FailureConfig) *Executor {
+	met *metrics.Job, events chan<- event, masterID string, fcfg FailureConfig,
+	casNodes []string) *Executor {
 
 	pool := newConnPool(net, h.id, met)
 	if !fcfg.DisableRPCPolicy {
 		pool.pol = newRPCPolicy(fcfg, h.id, met, cfg.Tracer.JobBuf(job))
+	}
+	var cas *storage.CommitClient
+	if len(casNodes) > 0 {
+		cas = storage.NewCommitClient(pool, casNodes)
 	}
 	return &Executor{
 		job:       job,
@@ -317,6 +327,7 @@ func newExecutor(job int, h *nodeHost, net *simnet.Network, plan *core.Plan, cfg
 		cache:     newInputCache(cfg.cacheCapacity()),
 		flight:    recache.NewFlight(),
 		pool:      pool,
+		cas:       cas,
 		cpu:       h.cpu,
 		stop:      make(chan struct{}),
 		receivers: make(map[recvKey]*receiver),
@@ -412,10 +423,21 @@ func (ex *Executor) Launch(spec taskSpec) {
 	go ex.runTask(spec)
 }
 
-// stageLoc locates one stage's output partitions.
+// stageLoc locates one stage's output partitions: normally an executor id
+// per partition, but a stage served from the commit store (skipped on
+// this run) carries a CAS chunk hash per partition instead and no execs.
 type stageLoc struct {
-	Gen   int
-	Execs []string // executor id per partition
+	Gen    int
+	Execs  []string // executor id per partition
+	Chunks []string // commit-store chunk per partition (skipped stages)
+}
+
+// nParts is the partition count regardless of which location form is set.
+func (loc stageLoc) nParts() int {
+	if loc.Chunks != nil {
+		return len(loc.Chunks)
+	}
+	return len(loc.Execs)
 }
 
 // taskSpec describes one fragment task attempt.
@@ -434,6 +456,12 @@ type taskSpec struct {
 	// Terminal marks tasks of terminal transient stages, whose root
 	// output is pushed to the master collector.
 	Terminal bool
+	// TaskKey, when non-empty, is the task's deterministic commit-store
+	// key: after a successful raw-path push the executor writes the
+	// pushed sections as a "task/<key>" commit so a later run can skip
+	// this task (commitplane.go). Empty when the commit plane is off or
+	// the task is not content-addressable.
+	TaskKey string
 }
 
 func (ex *Executor) runTask(spec taskSpec) {
@@ -612,13 +640,27 @@ func materialize(src dataflow.Source, part int) ([]data.Record, error) {
 	}
 }
 
-// fetchStagePart pulls one partition of a located stage output. With
-// ring replication on (Config.ReplicateStageOutputs) the partition also
-// lives on the next output executor, so a primary whose breaker is open
-// is routed around without waiting for it, and a primary that fails with
-// a transient error still gets one replica fallback before the caller
-// sees the failure.
-func fetchStagePart(pool *connPool, job, stage int, loc stageLoc, part int, replicated bool) ([]byte, error) {
+// fetchStagePart pulls one partition of a located stage output. A
+// location carrying commit-store chunks (the stage was skipped this run)
+// is served from the CAS; otherwise the partition comes from its owner
+// executor. With ring replication on (Config.ReplicateStageOutputs) the
+// partition also lives on the next output executor, so a primary whose
+// breaker is open is routed around without waiting for it, and a primary
+// that fails with a transient error still gets one replica fallback
+// before the caller sees the failure.
+func fetchStagePart(pool *connPool, cas *storage.CommitClient, met *metrics.Job,
+	job, stage int, loc stageLoc, part int, replicated bool) ([]byte, error) {
+	if loc.Chunks != nil {
+		if cas == nil {
+			return nil, fmt.Errorf("runtime: stage %d is served from the commit store but this executor has no commit plane", stage)
+		}
+		payload, err := cas.GetChunk(loc.Chunks[part])
+		if err != nil {
+			return nil, err
+		}
+		met.Counter(metrics.NameCASBytesServed).Add(int64(len(payload)))
+		return payload, nil
+	}
 	id := stageBlockID(job, stage, loc.Gen, part)
 	primary := loc.Execs[part]
 	if !replicated || len(loc.Execs) < 2 {
@@ -646,13 +688,13 @@ func fetchStagePart(pool *connPool, job, stage int, loc stageLoc, part int, repl
 // index can steer future tasks to this executor (§3.2.7). fetchBroadcast
 // reports the same "resident here" semantics.
 func (ex *Executor) fetchPartition(si core.StageInput, loc stageLoc, part int, coder data.Coder) ([]data.Record, bool, error) {
-	if part >= len(loc.Execs) {
+	if part >= loc.nParts() {
 		return nil, false, fmt.Errorf("runtime: partition %d out of range for stage %d", part, si.FromStage)
 	}
 	fetch := func() ([]data.Record, error) {
 		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: part,
 			Task: part, Exec: ex.id})
-		payload, err := fetchStagePart(ex.pool, ex.job, si.FromStage, loc, part, ex.cfg.ReplicateStageOutputs)
+		payload, err := fetchStagePart(ex.pool, ex.cas, ex.met, ex.job, si.FromStage, loc, part, ex.cfg.ReplicateStageOutputs)
 		if err != nil {
 			return nil, err
 		}
@@ -702,10 +744,10 @@ func (ex *Executor) fetchBroadcast(si core.StageInput, loc stageLoc, coder data.
 	fetch := func() ([]data.Record, error) {
 		ex.tr.Emit(obs.Event{Kind: obs.FetchStarted, Stage: si.FromStage, Frag: -1,
 			Task: -1, Exec: ex.id, Note: "broadcast"})
-		parts := make([][]data.Record, len(loc.Execs))
+		parts := make([][]data.Record, loc.nParts())
 		var total int64
-		err := fanout(len(loc.Execs), maxFetchWorkers, func(part int) error {
-			payload, err := fetchStagePart(ex.pool, ex.job, si.FromStage, loc, part, ex.cfg.ReplicateStageOutputs)
+		err := fanout(loc.nParts(), maxFetchWorkers, func(part int) error {
+			payload, err := fetchStagePart(ex.pool, ex.cas, ex.met, ex.job, si.FromStage, loc, part, ex.cfg.ReplicateStageOutputs)
 			if err != nil {
 				return err
 			}

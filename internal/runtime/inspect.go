@@ -42,6 +42,24 @@ type ManagerState struct {
 	// Sched summarizes control-plane scheduling efficiency (additive in
 	// schema version 1; older pollers ignore it).
 	Sched SchedState `json:"sched"`
+
+	// Store summarizes the commit plane's content-addressed store (nil
+	// when the manager runs without one; additive in schema version 1).
+	Store *StoreState `json:"store,omitempty"`
+}
+
+// StoreState is the commit store's live summary: resident size plus the
+// cumulative probe/commit/GC tallies, straight from storage.CommitStats.
+type StoreState struct {
+	Chunks      int   `json:"chunks"`
+	Manifests   int   `json:"manifests"`
+	UsedBytes   int64 `json:"used_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Commits     int64 `json:"commits"`
+	DedupPuts   int64 `json:"dedup_puts"`
+	GCRuns      int64 `json:"gc_runs"`
+	GCCollected int64 `json:"gc_collected"`
 }
 
 // SchedState is the incremental scheduler's efficiency summary: the
@@ -255,6 +273,21 @@ func (jm *JobManager) buildState() *ManagerState {
 	}
 	for _, id := range jm.order {
 		st.Sched.RunnableTasks += jm.jobs[id].runnable.n
+	}
+
+	if jm.commits != nil {
+		// Refreshing the store gauges here (not in updateGauges) keeps the
+		// per-event path free of the store's mutex; /metrics snapshots the
+		// manager first, so its exposition is always as fresh as /state.
+		cs := jm.commits.store.Stats()
+		st.Store = &StoreState{
+			Chunks: cs.Chunks, Manifests: cs.Manifests, UsedBytes: cs.UsedBytes,
+			Hits: cs.Hits, Misses: cs.Misses, Commits: cs.Commits,
+			DedupPuts: cs.DedupPuts, GCRuns: cs.GCRuns, GCCollected: cs.GCCollected,
+		}
+		jm.met.Gauge(metrics.GaugeCASChunks).Set(int64(cs.Chunks))
+		jm.met.Gauge(metrics.GaugeCASManifests).Set(int64(cs.Manifests))
+		jm.met.Gauge(metrics.GaugeStorageUsedBytes).Set(cs.UsedBytes)
 	}
 	return st
 }

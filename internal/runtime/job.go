@@ -53,6 +53,7 @@ func RunPlan(ctx context.Context, cl *cluster.Cluster, plan *core.Plan, cfg Conf
 		Metrics:    met,
 		EventQueue: cfg.EventQueue,
 		Failure:    cfg.Failure,
+		Commits:    cfg.Commits,
 	})
 	if err != nil {
 		return nil, err
@@ -86,9 +87,11 @@ func (jm *JobManager) collectOutputs(j *jobRun) (map[dag.VertexID][]data.Record,
 		}
 		var recs []data.Record
 		if s.ps.RootReserved {
-			loc := stageLoc{Gen: s.gen, Execs: s.outputExecs}
-			for part := range s.outputExecs {
-				payload, err := fetchStagePart(jm.pool, j.id, s.ps.ID, loc, part, j.cfg.ReplicateStageOutputs)
+			// A skipped terminal stage has no outputExecs; its partitions
+			// come straight from the commit store.
+			loc := stageLoc{Gen: s.gen, Execs: s.outputExecs, Chunks: s.skipChunks}
+			for part := 0; part < loc.nParts(); part++ {
+				payload, err := fetchStagePart(jm.pool, jm.casClient(), j.met, j.id, s.ps.ID, loc, part, j.cfg.ReplicateStageOutputs)
 				if err != nil {
 					return nil, err
 				}

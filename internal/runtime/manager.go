@@ -15,6 +15,7 @@ import (
 	"pado/internal/metrics"
 	"pado/internal/obs"
 	"pado/internal/simnet"
+	"pado/internal/storage"
 )
 
 // errManagerClosed fails jobs that were still outstanding when the
@@ -54,6 +55,15 @@ type ManagerConfig struct {
 	// data-plane connection pool (the manager's own and each executor's).
 	// The zero value enables both with conservative defaults.
 	Failure FailureConfig
+
+	// Commits, when non-nil, enables the incremental re-execution plane
+	// (DESIGN.md §14): the manager serves this content-addressed commit
+	// store over dedicated simnet nodes, probes it with each submitted
+	// plan's stage/task cache keys to skip already-computed work, and
+	// writes finished reserved-stage outputs back as commits. The store
+	// outlives the manager — hand the same instance to successive
+	// managers (or runs) to carry commits across them.
+	Commits *storage.CommitStore
 }
 
 func (c ManagerConfig) eventQueue() int {
@@ -163,6 +173,13 @@ type jobRun struct {
 	waitParents []int
 	qNext       int
 
+	// pinned lists commit-store keys the submission probe pinned; they
+	// are unpinned when the job resolves. casWG tracks in-flight commit
+	// writes so a successful job's result is not delivered before its
+	// manifests are durable in the store.
+	pinned []string
+	casWG  sync.WaitGroup
+
 	finished bool
 	failErr  error
 	timedOut bool
@@ -195,6 +212,10 @@ type JobManager struct {
 	// g caches the fleet registry's live-introspection gauges; the loop
 	// refreshes them after every handled event (inspect.go).
 	g managerGauges
+	// commits is the incremental re-execution plane (nil when
+	// ManagerConfig.Commits is unset): the served commit store, its
+	// dedicated simnet nodes, and the master-side client.
+	commits *commitPlane
 
 	events chan event
 	// overflow carries the first "event queue full" error out of the
@@ -277,6 +298,14 @@ func newManager(cl *cluster.Cluster, mcfg ManagerConfig) *JobManager {
 	jm.pool = newConnPool(jm.net, "master", met)
 	if !mcfg.Failure.DisableRPCPolicy {
 		jm.pool.pol = newRPCPolicy(mcfg.Failure, "master", met, jm.tr)
+	}
+	if mcfg.Commits != nil {
+		// Plane setup only fails on simnet exhaustion; the ids are
+		// process-unique, so degrade to non-incremental rather than
+		// refusing the whole manager.
+		if cp, err := newCommitPlane(jm.net, mcfg.Commits, jm.pool); err == nil {
+			jm.commits = cp
+		}
 	}
 	if !mcfg.Failure.DisableDetector {
 		jm.fd = newFailureDetector(mcfg.Failure)
@@ -416,6 +445,11 @@ func (jm *JobManager) SubmitPlan(plan *core.Plan, cfg Config, opts JobOptions) (
 	j.initSched()
 	j.tr.Emit(obs.Event{Kind: obs.PlanCompiled, Note: plan.Policy})
 	j.tr.Emit(obs.Event{Kind: obs.JobSubmitted, Note: name})
+	// Probe the commit store before the job is published to the event
+	// loop: the jobRun is still private to this goroutine, so the probe's
+	// network round trips never block the manager, and any stage or task
+	// skips are in place before the first scheduling pass.
+	jm.probeCommits(j)
 	if demand > 0 {
 		met.Counter("reserved_slots_budget").Store(int64(demand))
 	}
@@ -664,10 +698,12 @@ func (jm *JobManager) finishJob(j *jobRun) {
 	case j.failErr != nil:
 		j.tr.Emit(obs.Event{Kind: obs.JobCompleted, Note: "aborted"})
 		j.err = j.failErr
+		jm.releaseCommits(j)
 		close(j.done)
 	case j.timedOut:
 		j.tr.Emit(obs.Event{Kind: obs.JobTimedOut, Note: "deadline expired"})
 		j.result = &Result{Plan: j.plan, Metrics: j.met.Snapshot(jct, true), Progress: j.snapshotProgress()}
+		jm.releaseCommits(j)
 		close(j.done)
 	default:
 		j.tr.Emit(obs.Event{Kind: obs.JobCompleted, Note: "ok"})
@@ -680,6 +716,12 @@ func (jm *JobManager) finishJob(j *jobRun) {
 				res.Outputs = outputs
 				j.result = res
 			}
+			// The result is not delivered until in-flight manifest
+			// commits land and probe pins are released: the next run
+			// (often submitted immediately after Wait returns) must see
+			// this run's commits.
+			j.casWG.Wait()
+			jm.unpinCommits(j)
 			close(j.done)
 		}()
 	}
@@ -701,9 +743,22 @@ func (jm *JobManager) hostsInOrder() []*nodeHost {
 
 // attachExecutor gives job j an executor on host h.
 func (jm *JobManager) attachExecutor(j *jobRun, h *nodeHost) {
-	ex := newExecutor(j.id, h, jm.net, j.plan, j.cfg, j.met, jm.events, "master", jm.cfg.Failure)
+	ex := newExecutor(j.id, h, jm.net, j.plan, j.cfg, j.met, jm.events, "master", jm.cfg.Failure, jm.casNodes())
 	j.execs[h.id] = ex
 	h.attach(ex)
+}
+
+// releaseCommits is the failed/timed-out-job analogue of the success
+// path's pin release: waits for stray commit writes and unpins off the
+// event loop.
+func (jm *JobManager) releaseCommits(j *jobRun) {
+	if jm.commits == nil || len(j.pinned) == 0 {
+		return
+	}
+	go func() {
+		j.casWG.Wait()
+		jm.unpinCommits(j)
+	}()
 }
 
 // Close shuts the manager down: the loop exits, the cluster stops, hosts
@@ -721,6 +776,9 @@ func (jm *JobManager) Close() {
 			h.shutdown()
 		}
 		jm.pool.closeAll()
+		if jm.commits != nil {
+			jm.commits.close()
+		}
 		// The loop is dead, so its state is safe to touch. Jobs that
 		// finished successfully already left jm.order (their done channel
 		// belongs to the collection goroutine); everything still listed

@@ -92,6 +92,20 @@ type stageRun struct {
 	// results holds terminal transient task payloads.
 	results  [][]byte
 	nResults int
+
+	// Commit-plane state (commitplane.go). skipChunks, when non-nil,
+	// marks the stage served whole from the commit store: element i is
+	// the CAS chunk holding partition i, and consumers fetch from the
+	// store instead of outputExecs. taskHits holds per-task probe hits
+	// ([frag][task] → per-receiver chunks) applied each generation by
+	// applyTaskSkips; entries are nilled when a CAS pull fails so the
+	// task relaunches for real. Both survive resetStage — content
+	// addresses stay valid across restarts. outChunks gathers
+	// evReservedTaskDone.Chunk per receiver for the stage manifest and
+	// is per-generation (resetStage clears it).
+	skipChunks []string
+	taskHits   [][][]string
+	outChunks  []string
 }
 
 // relaunchableState: states below this are relaunched on eviction. The
@@ -375,6 +389,7 @@ func (jm *JobManager) resetStage(j *jobRun, s *stageRun) {
 	s.outputExecs = nil
 	s.results = nil
 	s.nResults = 0
+	s.outChunks = nil
 	jm.recomputeReadiness(j, s)
 	if max := j.cfg.maxStageRestarts(); s.restarts > max {
 		jm.abort(j, fmt.Errorf("runtime: stage %d restarted more than %d times", s.ps.ID, max))
@@ -430,6 +445,9 @@ func (jm *JobManager) onReceiverReady(j *jobRun, e evReceiverReady) {
 		// Every fragment task is still tWaiting here (only sRunning
 		// stages launch tasks), so the whole stage becomes runnable.
 		j.markRunnable(s)
+		// Tasks whose output is already in the commit store commit
+		// without launching (commitplane.go).
+		jm.applyTaskSkips(j, s)
 	}
 }
 
@@ -541,6 +559,9 @@ func (jm *JobManager) onPullFailed(j *jobRun, e evPullFailed) {
 	if t.state == tCommitted {
 		s.frags[e.ref.Frag].nCommitted--
 	}
+	// A failed CAS pull on a skipped task revokes the hit: relaunch it
+	// for real rather than re-skipping into the same failure.
+	revokeTaskSkip(s, e.ref.Frag, e.ref.Index)
 	jm.requeue(j, s, e.ref.Frag, e.ref.Index, t)
 	j.tr.Emit(obs.Event{Kind: obs.TaskRelaunched, Stage: s.ps.ID, Frag: e.ref.Frag,
 		Task: e.ref.Index, Attempt: t.attempt, Note: "pull_failed"})
@@ -553,6 +574,9 @@ func (jm *JobManager) onReservedTaskDone(j *jobRun, e evReservedTaskDone) {
 	}
 	s.recvDone[e.Index] = true
 	s.nDone++
+	if s.outChunks != nil && e.Chunk != "" {
+		s.outChunks[e.Index] = e.Chunk
+	}
 	jm.trackReceivers(j, -1)
 	j.tr.Emit(obs.Event{Kind: obs.TaskFinished, Stage: s.ps.ID, Frag: obs.ReservedFrag,
 		Task: e.Index, Exec: s.recvExecs[e.Index], Bytes: e.Bytes})
@@ -561,6 +585,7 @@ func (jm *JobManager) onReservedTaskDone(j *jobRun, e evReservedTaskDone) {
 		j.unmarkRunnable(s)
 		jm.markStageDone(j, s)
 		s.outputExecs = append([]string(nil), s.recvExecs...)
+		jm.commitStage(j, s)
 		j.tr.Emit(obs.Event{Kind: obs.StageComplete, Stage: s.ps.ID})
 		jm.replicateProgress(j)
 		if debugStages {
@@ -661,6 +686,9 @@ func (jm *JobManager) startStage(j *jobRun, s *stageRun) bool {
 		s.recvReady = make([]bool, r)
 		s.recvDone = make([]bool, r)
 		s.nReady, s.nDone = 0, 0
+		if jm.commits != nil && ps.CacheKey != "" {
+			s.outChunks = make([]string, r)
+		}
 		for i := 0; i < r; i++ {
 			s.recvExecs[i] = jm.reservedOrder[jm.rrRecv%len(jm.reservedOrder)]
 			jm.rrRecv++
@@ -712,7 +740,12 @@ func (jm *JobManager) inputLocsFor(j *jobRun, ps *core.PhysStage) map[int]stageL
 			continue
 		}
 		p := j.stages[si.FromStage]
-		locs[si.FromStage] = stageLoc{Gen: p.gen, Execs: append([]string(nil), p.outputExecs...)}
+		// A skipped parent has no outputExecs; its partitions resolve to
+		// commit-store chunks instead (skipChunks is immutable, shared by
+		// reference).
+		locs[si.FromStage] = stageLoc{Gen: p.gen,
+			Execs:  append([]string(nil), p.outputExecs...),
+			Chunks: p.skipChunks}
 	}
 	return locs
 }
@@ -830,11 +863,16 @@ func (jm *JobManager) launchDense(j *jobRun, di int, pool []string, kind cluster
 		Task: ti, Attempt: t.attempt, Exec: exec})
 	ref := taskRef{Job: j.id, Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt}
 	jm.assignments[ref] = exec
+	taskKey := ""
+	if jm.commits != nil && s.ps.TaskKeys != nil && fi < len(s.ps.TaskKeys) && s.ps.TaskKeys[fi] != nil {
+		taskKey = s.ps.TaskKeys[fi][ti]
+	}
 	j.execs[exec].Launch(taskSpec{
 		Stage: s.ps.ID, Gen: s.gen, Frag: fi, Index: ti, Attempt: t.attempt,
 		InputLocs: s.inputLocs,
 		Receivers: s.recvExecs,
 		Terminal:  !s.ps.RootReserved,
+		TaskKey:   taskKey,
 	})
 	return true
 }

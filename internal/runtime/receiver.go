@@ -10,6 +10,7 @@ import (
 	"pado/internal/data"
 	"pado/internal/dataflow"
 	"pado/internal/exec"
+	"pado/internal/metrics"
 	"pado/internal/obs"
 )
 
@@ -40,12 +41,15 @@ type recvSpec struct {
 type msgFrame struct{ f *pushFrame }
 
 // msgCommit is a task-output commit forwarded by the master. Exec names
-// the sender's executor for pull-mode fetches.
+// the sender's executor for pull-mode fetches. Chunk, when non-empty,
+// marks a skipped task (commitplane.go): no sender ran, Exec is empty,
+// and the receiver pulls the staged sections from the commit store.
 type msgCommit struct {
 	Frag    int
 	Index   int
 	Attempt int
 	Exec    string
+	Chunk   string
 }
 type msgCancel struct{}
 
@@ -137,7 +141,22 @@ func (r *receiver) run() {
 		if !ok {
 			return
 		}
-		{
+		// Greedily drain whatever else is already queued so commit-store
+		// pulls for skipped tasks can be fetched in one parallel fanout:
+		// the master relays a skipped stage's commits back-to-back, and
+		// one round trip per commit would serialize into the dominant
+		// rerun cost. Frame staging and commit bookkeeping commute, so
+		// batch order is indistinguishable from one-at-a-time order.
+		batch := []any{m}
+		for {
+			v, ok := r.msgs.tryGet()
+			if !ok {
+				break
+			}
+			batch = append(batch, v)
+		}
+		var casPulls []msgCommit
+		for _, m := range batch {
 			switch msg := m.(type) {
 			case msgFrame:
 				r.staged = append(r.staged, msg.f)
@@ -146,7 +165,12 @@ func (r *receiver) run() {
 				if old, ok := r.committed[key]; !ok || msg.Attempt > old.Attempt {
 					r.committed[key] = msg
 				}
-				if r.spec.PullMode {
+				if msg.Chunk != "" && msg.Exec == "" {
+					// Skipped task: its sections live in the commit
+					// store. A failed pull reverts the skip through the
+					// same relaunch path a lost pull-mode block uses.
+					casPulls = append(casPulls, msg)
+				} else if r.spec.PullMode {
 					if err := r.pull(msg); err != nil {
 						if r.ex.stopped() {
 							return
@@ -159,23 +183,56 @@ func (r *receiver) run() {
 							Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen,
 							Frag: msg.Frag, Index: msg.Index, Attempt: msg.Attempt,
 						}})
-						continue
 					}
 				}
 			case msgCancel:
 				return
 			}
-			if err := r.drainStaged(); err != nil {
-				if !r.ex.stopped() {
-					r.fail(err, true)
-				}
-				return
+		}
+		if !r.pullCASBatch(casPulls) {
+			return
+		}
+		if err := r.drainStaged(); err != nil {
+			if !r.ex.stopped() {
+				r.fail(err, true)
 			}
-			if r.maybeFinalize() {
-				return
-			}
+			return
+		}
+		if r.maybeFinalize() {
+			return
 		}
 	}
+}
+
+// pullCASBatch fetches the staged sections of a batch of skipped-task
+// commits concurrently. A failed pull reverts that task's skip (commit
+// entry dropped, evPullFailed sent) without poisoning the rest of the
+// batch. Returns false when the executor is stopping.
+func (r *receiver) pullCASBatch(pulls []msgCommit) bool {
+	if len(pulls) == 0 {
+		return true
+	}
+	frames := make([]*pushFrame, len(pulls))
+	errs := make([]error, len(pulls))
+	_ = fanout(len(pulls), maxFetchWorkers, func(i int) error {
+		frames[i], errs[i] = r.pullCAS(pulls[i])
+		return nil
+	})
+	for i, msg := range pulls {
+		if errs[i] != nil {
+			if r.ex.stopped() {
+				return false
+			}
+			delete(r.committed, fragSender{Frag: msg.Frag, Index: msg.Index})
+			r.ex.send(evPullFailed{ref: taskRef{
+				Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen,
+				Frag: msg.Frag, Index: msg.Index, Attempt: msg.Attempt,
+			}})
+			continue
+		}
+		r.staged = append(r.staged, frames[i])
+	}
+	return true
 }
 
 // pull fetches a committed sender output in pull-boundary mode and stages
@@ -356,7 +413,7 @@ func (r *receiver) fetchInputs() error {
 }
 
 func allParts(loc stageLoc) []int {
-	parts := make([]int, len(loc.Execs))
+	parts := make([]int, loc.nParts())
 	for i := range parts {
 		parts[i] = i
 	}
@@ -369,7 +426,7 @@ func allParts(loc stageLoc) []int {
 // order the receiver sees is independent of fetch timing.
 func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, parts []int) ([]data.Record, error) {
 	for _, p := range parts {
-		if p >= len(loc.Execs) {
+		if p >= loc.nParts() {
 			return nil, fmt.Errorf("runtime: partition %d out of range for stage %d", p, fromStage)
 		}
 	}
@@ -379,7 +436,7 @@ func (r *receiver) fetchParts(fromStage int, loc stageLoc, coder data.Coder, par
 	var total int64
 	err := fanout(len(parts), maxFetchWorkers, func(i int) error {
 		p := parts[i]
-		payload, err := fetchStagePart(r.ex.pool, r.ex.job, fromStage, loc, p, r.ex.cfg.ReplicateStageOutputs)
+		payload, err := fetchStagePart(r.ex.pool, r.ex.cas, r.ex.met, r.ex.job, fromStage, loc, p, r.ex.cfg.ReplicateStageOutputs)
 		if err != nil {
 			return err
 		}
@@ -448,8 +505,19 @@ func (r *receiver) maybeFinalize() bool {
 	blockID := stageBlockID(r.ex.job, r.spec.Stage, r.spec.Gen, r.spec.Index)
 	r.ex.store.Put(blockID, payload)
 	r.replicateOutput(blockID, payload)
+	// Cacheable stage: also write the partition to the commit store so
+	// the master can commit the stage manifest once every receiver is
+	// done. Best-effort — on error the done event just carries no chunk,
+	// and the master skips the manifest.
+	chunk := ""
+	if r.ex.cas != nil && r.ex.plan.Stages[r.spec.Stage].CacheKey != "" {
+		if h, err := r.ex.cas.PutChunk(payload); err == nil {
+			chunk = h
+			r.ex.met.Counter(metrics.NameCASBytesWritten).Add(int64(len(payload)))
+		}
+	}
 	r.ex.send(evReservedTaskDone{Job: r.ex.job, Stage: r.spec.Stage, Gen: r.spec.Gen, Index: r.spec.Index,
-		Exec: r.ex.id, Bytes: int64(len(payload))})
+		Exec: r.ex.id, Bytes: int64(len(payload)), Chunk: chunk})
 	return true
 }
 

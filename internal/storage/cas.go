@@ -1,0 +1,682 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pado/internal/data"
+	"pado/internal/simnet"
+)
+
+// Content-addressed commit store (Pachyderm-style, DESIGN.md §14): the
+// versioned layer above the flat key→block stable store. Immutable
+// chunks are keyed by their content hash; commit manifests map a dataset
+// key to the ordered chunk hashes of each partition; chunks are
+// ref-counted by the manifests that reach them, so GC can only collect
+// chunks no live commit references.
+//
+// One CommitStore outlives individual runs: the engine object is handed
+// from run to run (harness.Params.CommitStore, padorun -incremental)
+// while each run serves it over its own simulated network via a fresh
+// CommitService, which is what makes cross-run incremental re-execution
+// possible.
+
+// Commit-store wire protocol op codes (client → service).
+const (
+	opChunkPut = 'C'
+	opChunkGet = 'H'
+	opCommit   = 'M'
+	opResolve  = 'R'
+	opUnpin    = 'U'
+)
+
+// HashChunk returns the content address of a chunk: the lowercase hex
+// SHA-256 of its bytes. The same bytes always hash to the same address,
+// no matter which encoder, buffer, or node produced them.
+func HashChunk(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Manifest is one commit: a dataset key mapped to the ordered chunk
+// hashes of each partition. Parts[i] lists partition i's chunks in
+// order; a partition with no data holds an empty list.
+type Manifest struct {
+	Key   string
+	Parts [][]string
+}
+
+// Clone deep-copies the manifest.
+func (m *Manifest) Clone() *Manifest {
+	c := &Manifest{Key: m.Key, Parts: make([][]string, len(m.Parts))}
+	for i, p := range m.Parts {
+		c.Parts[i] = append([]string(nil), p...)
+	}
+	return c
+}
+
+// chunkEntry is one stored chunk with its manifest reference count.
+type chunkEntry struct {
+	data []byte
+	refs int
+}
+
+// CommitStats is a point-in-time summary of a CommitStore.
+type CommitStats struct {
+	Chunks    int
+	Manifests int
+	UsedBytes int64
+	// Hits and Misses count Resolve outcomes; Commits counts accepted
+	// manifests; DedupPuts counts chunk puts that found their content
+	// already stored; GCRuns and GCCollected summarize garbage
+	// collection activity.
+	Hits        int64
+	Misses      int64
+	Commits     int64
+	DedupPuts   int64
+	GCRuns      int64
+	GCCollected int64
+}
+
+// CommitStore is the in-memory content-addressed commit store. It is
+// safe for concurrent use; chunks are immutable once stored.
+type CommitStore struct {
+	mu        sync.Mutex
+	chunks    map[string]*chunkEntry
+	manifests map[string]*Manifest
+	pins      map[string]int
+	used      int64
+
+	hits, misses, commits, dedup, gcRuns, gcCollected int64
+}
+
+// NewCommitStore returns an empty commit store.
+func NewCommitStore() *CommitStore {
+	return &CommitStore{
+		chunks:    make(map[string]*chunkEntry),
+		manifests: make(map[string]*Manifest),
+		pins:      make(map[string]int),
+	}
+}
+
+// PutChunk stores a chunk and returns its content address. Putting the
+// same bytes twice is free: the second put deduplicates against the
+// first.
+func (s *CommitStore) PutChunk(b []byte) string {
+	h := HashChunk(b)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.chunks[h]; ok {
+		s.dedup++
+		return h
+	}
+	s.chunks[h] = &chunkEntry{data: append([]byte(nil), b...)}
+	s.used += int64(len(b))
+	return h
+}
+
+// GetChunk returns the chunk stored under the content address.
+func (s *CommitStore) GetChunk(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.chunks[hash]
+	if !ok {
+		return nil, false
+	}
+	return c.data, true
+}
+
+// HasChunk reports whether the content address is stored.
+func (s *CommitStore) HasChunk(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.chunks[hash]
+	return ok
+}
+
+// Commit records a manifest. Every referenced chunk must already be
+// stored — a commit can never dangle — and each reference bumps the
+// chunk's ref count. Re-committing a key replaces the previous manifest,
+// releasing its references.
+func (s *CommitStore) Commit(m *Manifest) error {
+	if m.Key == "" {
+		return fmt.Errorf("storage commit: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, part := range m.Parts {
+		for _, h := range part {
+			if _, ok := s.chunks[h]; !ok {
+				return fmt.Errorf("storage commit %q: chunk %.12s… not stored", m.Key, h)
+			}
+		}
+	}
+	if old, ok := s.manifests[m.Key]; ok {
+		s.refs(old, -1)
+	}
+	clone := m.Clone()
+	s.manifests[m.Key] = clone
+	s.refs(clone, +1)
+	s.commits++
+	return nil
+}
+
+// refs adjusts the ref count of every chunk the manifest reaches.
+func (s *CommitStore) refs(m *Manifest, d int) {
+	for _, part := range m.Parts {
+		for _, h := range part {
+			if c, ok := s.chunks[h]; ok {
+				c.refs += d
+			}
+		}
+	}
+}
+
+// Resolve returns the manifest committed under key, or nil when none
+// exists. With pin set, a found manifest is pinned: Delete refuses
+// pinned keys until a matching Unpin, so a run that resolved a commit
+// can trust its chunks to stay for the run's whole lifetime.
+func (s *CommitStore) Resolve(key string, pin bool) *Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[key]
+	if !ok {
+		s.misses++
+		return nil
+	}
+	s.hits++
+	if pin {
+		s.pins[key]++
+	}
+	return m.Clone()
+}
+
+// Unpin releases one pin on key. Unpinning an unpinned key is a no-op.
+func (s *CommitStore) Unpin(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[key] > 1 {
+		s.pins[key]--
+	} else {
+		delete(s.pins, key)
+	}
+}
+
+// Delete removes the manifest committed under key, releasing its chunk
+// references. Pinned keys are refused.
+func (s *CommitStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[key] > 0 {
+		return fmt.Errorf("storage delete %q: pinned", key)
+	}
+	m, ok := s.manifests[key]
+	if !ok {
+		return nil
+	}
+	s.refs(m, -1)
+	delete(s.manifests, key)
+	return nil
+}
+
+// GC collects every chunk no manifest references, returning the chunk
+// count and byte volume reclaimed. A chunk reachable from any live
+// commit has refs > 0 and is never collected.
+func (s *CommitStore) GC() (chunks int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for h, c := range s.chunks {
+		if c.refs <= 0 {
+			chunks++
+			bytes += int64(len(c.data))
+			s.used -= int64(len(c.data))
+			delete(s.chunks, h)
+		}
+	}
+	s.gcRuns++
+	s.gcCollected += int64(chunks)
+	return chunks, bytes
+}
+
+// Keys returns the committed manifest keys, sorted.
+func (s *CommitStore) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.manifests))
+	for k := range s.manifests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns a point-in-time summary.
+func (s *CommitStore) Stats() CommitStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CommitStats{
+		Chunks:      len(s.chunks),
+		Manifests:   len(s.manifests),
+		UsedBytes:   s.used,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Commits:     s.commits,
+		DedupPuts:   s.dedup,
+		GCRuns:      s.gcRuns,
+		GCCollected: s.gcCollected,
+	}
+}
+
+// CommitService serves one CommitStore over the simulated network. The
+// nodes all answer for the same store — like the stable Service, several
+// nodes spread the transfer bandwidth while the key space stays single
+// and consistent — so clients route each operation by hash purely for
+// load spreading.
+type CommitService struct {
+	store *CommitStore
+	nodes []*simnet.Node
+	stop  chan struct{}
+
+	mu      sync.Mutex
+	started bool
+}
+
+// NewCommitService creates a service exposing store on the given nodes.
+func NewCommitService(store *CommitStore, nodes []*simnet.Node) *CommitService {
+	return &CommitService{store: store, nodes: nodes, stop: make(chan struct{})}
+}
+
+// NodeIDs returns the serving node ids in service order.
+func (s *CommitService) NodeIDs() []string {
+	ids := make([]string, len(s.nodes))
+	for i, n := range s.nodes {
+		ids[i] = n.ID()
+	}
+	return ids
+}
+
+// Start launches the server loop on every serving node.
+func (s *CommitService) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("storage: commit service already started")
+	}
+	s.started = true
+	for _, n := range s.nodes {
+		l, err := n.Listen()
+		if err != nil {
+			return fmt.Errorf("storage: commit node %s: %w", n.ID(), err)
+		}
+		go s.serve(l)
+	}
+	return nil
+}
+
+// Close stops the accept loops. Existing connections drain on their own.
+func (s *CommitService) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		select {
+		case <-s.stop:
+		default:
+			close(s.stop)
+		}
+	}
+}
+
+func (s *CommitService) serve(l *simnet.Listener) {
+	for {
+		conn, err := l.Accept(s.stop)
+		if err != nil {
+			return
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *CommitService) handleConn(conn *simnet.Conn) {
+	defer conn.Close()
+	d := data.NewDecoder(conn)
+	e := data.NewEncoder(conn)
+	for {
+		op, err := d.Byte()
+		if err != nil {
+			return
+		}
+		if err := s.handleOp(op, e, d); err != nil {
+			return
+		}
+	}
+}
+
+// handleOp serves one request/response round; a non-nil error tears the
+// connection down (codec failure), while application-level misses answer
+// respNo and keep the connection usable.
+func (s *CommitService) handleOp(op byte, e *data.Encoder, d *data.Decoder) error {
+	switch op {
+	case opChunkPut:
+		hash, err := d.String()
+		if err != nil {
+			return err
+		}
+		payload, err := d.Bytes(0)
+		if err != nil {
+			return err
+		}
+		// The service recomputes the address: a client that mishashed
+		// (or a corrupted transfer) must not poison the content space.
+		if HashChunk(payload) != hash {
+			if err := e.Byte(respNo); err != nil {
+				return err
+			}
+			return e.Flush()
+		}
+		s.store.PutChunk(payload)
+		if err := e.Byte(respOK); err != nil {
+			return err
+		}
+		return e.Flush()
+	case opChunkGet:
+		hash, err := d.String()
+		if err != nil {
+			return err
+		}
+		payload, ok := s.store.GetChunk(hash)
+		if !ok {
+			if err := e.Byte(respNo); err != nil {
+				return err
+			}
+			return e.Flush()
+		}
+		if err := e.Byte(respOK); err != nil {
+			return err
+		}
+		if err := e.Bytes(payload); err != nil {
+			return err
+		}
+		return e.Flush()
+	case opCommit:
+		m, err := readManifest(d)
+		if err != nil {
+			return err
+		}
+		if err := s.store.Commit(m); err != nil {
+			if err := e.Byte(respNo); err != nil {
+				return err
+			}
+			return e.Flush()
+		}
+		if err := e.Byte(respOK); err != nil {
+			return err
+		}
+		return e.Flush()
+	case opResolve:
+		key, err := d.String()
+		if err != nil {
+			return err
+		}
+		pin, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		m := s.store.Resolve(key, pin == 1)
+		if m == nil {
+			if err := e.Byte(respNo); err != nil {
+				return err
+			}
+			return e.Flush()
+		}
+		if err := e.Byte(respOK); err != nil {
+			return err
+		}
+		if err := writeManifest(e, m); err != nil {
+			return err
+		}
+		return e.Flush()
+	case opUnpin:
+		key, err := d.String()
+		if err != nil {
+			return err
+		}
+		s.store.Unpin(key)
+		if err := e.Byte(respOK); err != nil {
+			return err
+		}
+		return e.Flush()
+	default:
+		return fmt.Errorf("storage: unknown commit op %q", op)
+	}
+}
+
+func writeManifest(e *data.Encoder, m *Manifest) error {
+	if err := e.String(m.Key); err != nil {
+		return err
+	}
+	if err := e.Uvarint(uint64(len(m.Parts))); err != nil {
+		return err
+	}
+	for _, part := range m.Parts {
+		if err := e.Uvarint(uint64(len(part))); err != nil {
+			return err
+		}
+		for _, h := range part {
+			if err := e.String(h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func readManifest(d *data.Decoder) (*Manifest, error) {
+	key, err := d.String()
+	if err != nil {
+		return nil, err
+	}
+	np, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if np > 1<<20 {
+		return nil, fmt.Errorf("storage: manifest with %d parts", np)
+	}
+	m := &Manifest{Key: key, Parts: make([][]string, np)}
+	for i := range m.Parts {
+		nc, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nc > 1<<20 {
+			return nil, fmt.Errorf("storage: manifest part with %d chunks", nc)
+		}
+		m.Parts[i] = make([]string, nc)
+		for j := range m.Parts[i] {
+			if m.Parts[i][j], err = d.String(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// CommitClient accesses a CommitService from one cluster node through a
+// Transport — the runtime hands in its pooled, policy-wrapped transport,
+// so commit traffic gets the same connection reuse, deadlines, and
+// breaker treatment as the rest of the data plane.
+type CommitClient struct {
+	t     Transport
+	nodes []string
+}
+
+// NewCommitClient returns a client over the transport. nodes must be the
+// service's NodeIDs.
+func NewCommitClient(t Transport, nodes []string) *CommitClient {
+	return &CommitClient{t: t, nodes: nodes}
+}
+
+func (c *CommitClient) nodeFor(key string) string {
+	return c.nodes[int(data.HashKey(key)%uint64(len(c.nodes)))]
+}
+
+// PutChunk stores a chunk, returning its content address. Idempotent:
+// re-putting stored content is acknowledged without rewriting.
+func (c *CommitClient) PutChunk(payload []byte) (string, error) {
+	hash := HashChunk(payload)
+	err := c.t.Do("casput", c.nodeFor(hash), func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(opChunkPut); err != nil {
+			return err
+		}
+		if err := e.String(hash); err != nil {
+			return err
+		}
+		if err := e.Bytes(payload); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return fmt.Errorf("chunk rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("storage chunk put %.12s…: %w", hash, err)
+	}
+	return hash, nil
+}
+
+// GetChunk fetches a chunk by content address. Missing chunks return
+// ErrNotFound.
+func (c *CommitClient) GetChunk(hash string) ([]byte, error) {
+	var payload []byte
+	err := c.t.Do("casget", c.nodeFor(hash), func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(opChunkGet); err != nil {
+			return err
+		}
+		if err := e.String(hash); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return ErrNotFound{Key: hash}
+		}
+		payload, err = d.Bytes(0)
+		return err
+	})
+	if err != nil {
+		if isNotFound(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("storage chunk get %.12s…: %w", hash, err)
+	}
+	return payload, nil
+}
+
+// Commit records a manifest. Every referenced chunk must already be
+// stored.
+func (c *CommitClient) Commit(m *Manifest) error {
+	err := c.t.Do("commit", c.nodeFor(m.Key), func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(opCommit); err != nil {
+			return err
+		}
+		if err := writeManifest(e, m); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return fmt.Errorf("rejected (dangling chunk?)")
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("storage commit %q: %w", m.Key, err)
+	}
+	return nil
+}
+
+// Resolve returns the manifest committed under key, or nil when none
+// exists (a miss is not an error). With pin set the commit is pinned on
+// the store until Unpin.
+func (c *CommitClient) Resolve(key string, pin bool) (*Manifest, error) {
+	var m *Manifest
+	err := c.t.Do("resolve", c.nodeFor(key), func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(opResolve); err != nil {
+			return err
+		}
+		if err := e.String(key); err != nil {
+			return err
+		}
+		p := byte(0)
+		if pin {
+			p = 1
+		}
+		if err := e.Byte(p); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return nil // miss
+		}
+		m, err = readManifest(d)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage resolve %q: %w", key, err)
+	}
+	return m, nil
+}
+
+// Unpin releases one pin on key.
+func (c *CommitClient) Unpin(key string) error {
+	err := c.t.Do("unpin", c.nodeFor(key), func(e *data.Encoder, d *data.Decoder) error {
+		if err := e.Byte(opUnpin); err != nil {
+			return err
+		}
+		if err := e.String(key); err != nil {
+			return err
+		}
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		resp, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		if resp != respOK {
+			return fmt.Errorf("rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("storage unpin %q: %w", key, err)
+	}
+	return nil
+}

@@ -102,3 +102,12 @@ type ErrNotFound struct{ Key string }
 
 // Error implements error.
 func (e ErrNotFound) Error() string { return fmt.Sprintf("storage: block %q not found", e.Key) }
+
+// Is matches any ErrNotFound regardless of key, so errors.Is(err,
+// storage.ErrNotFound{}) classifies misses without knowing the key —
+// which pooled transports need: a miss is a healthy negative response,
+// not a broken connection.
+func (e ErrNotFound) Is(target error) bool {
+	_, ok := target.(ErrNotFound)
+	return ok
+}

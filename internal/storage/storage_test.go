@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"pado/internal/data"
 	"pado/internal/simnet"
 )
 
@@ -120,6 +123,89 @@ func TestStableServiceMissingBlock(t *testing.T) {
 	if !errors.As(err, &nf) || nf.Key != "nope" {
 		t.Errorf("got %v, want ErrNotFound", err)
 	}
+}
+
+// truncatedTransport hands fn a decoder over a fixed response prefix, so
+// decode failures after the response byte can be provoked
+// deterministically.
+type truncatedTransport struct{ resp []byte }
+
+func (t truncatedTransport) Do(_, _ string, fn func(e *data.Encoder, d *data.Decoder) error) error {
+	return fn(data.NewEncoder(io.Discard), data.NewDecoder(bytes.NewReader(t.resp)))
+}
+
+// TestGetWrapsDecodeErrors: a connection that dies after the server has
+// acknowledged the block (respOK, then truncation mid-payload) must
+// surface an error carrying the key context, like every other Get
+// failure — decode errors after the response byte used to escape bare.
+func TestGetWrapsDecodeErrors(t *testing.T) {
+	c := &Client{t: truncatedTransport{resp: []byte{respOK}}, nodes: []string{"s0"}}
+	_, err := c.Get("the-block")
+	if err == nil {
+		t.Fatal("truncated response returned no error")
+	}
+	if !strings.Contains(err.Error(), `"the-block"`) {
+		t.Errorf("decode error lost key context: %v", err)
+	}
+	var nf ErrNotFound
+	if errors.As(err, &nf) {
+		t.Errorf("truncation misreported as a miss: %v", err)
+	}
+
+	// Truncation before the response byte gets the same wrapping.
+	c = &Client{t: truncatedTransport{}, nodes: []string{"s0"}}
+	_, err = c.Get("other-block")
+	if err == nil || !strings.Contains(err.Error(), `"other-block"`) {
+		t.Errorf("pre-response error lost key context: %v", err)
+	}
+}
+
+// TestPoolTransportReuseAndMissAlignment: pooled streams survive many
+// operations, a miss (respNo) leaves the stream aligned for the next
+// operation, and concurrent use from one client is safe.
+func TestPoolTransportReuseAndMissAlignment(t *testing.T) {
+	net, svc := newServiceCluster(t, 2, 0)
+	pt := NewPoolTransport(net, "client")
+	defer pt.Close()
+	c := NewClientTransport(pt, svc)
+
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := c.Put(key, []byte(key)); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		if _, err := c.Get("missing-" + key); !errors.As(err, &ErrNotFound{}) {
+			t.Fatalf("miss %d: %v", i, err)
+		}
+		// The miss must not have desynced the pooled stream.
+		got, err := c.Get(key)
+		if err != nil || string(got) != key {
+			t.Fatalf("get after miss: %q %v", got, err)
+		}
+	}
+	if len(pt.streams) != 2 {
+		t.Errorf("pooled %d destinations, want 2", len(pt.streams))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				key := fmt.Sprintf("p%d-%d", i, k)
+				if err := c.Put(key, []byte(key)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if got, err := c.Get(key); err != nil || string(got) != key {
+					t.Errorf("get %s: %q %v", key, got, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }
 
 func TestStableServiceSpreadsBlocks(t *testing.T) {

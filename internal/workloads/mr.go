@@ -20,6 +20,31 @@ type MRConfig struct {
 	Seed         int64
 	ReducePar    int // informational; the engine config decides
 	HeavyDocSkew float64
+
+	// DeltaFrac marks the leading ceil(DeltaFrac*Partitions) partitions
+	// dirty: their content (and partition fingerprint) also depends on
+	// DeltaSalt, so rerunning with a different salt simulates an
+	// incremental input update — that fraction of the input changed, the
+	// rest byte-identical. Zero leaves every partition clean. Used by the
+	// delta-rerun experiments against the commit store (DESIGN.md §14).
+	DeltaFrac float64
+	// DeltaSalt versions the dirty partitions' content.
+	DeltaSalt int64
+}
+
+// dirty reports whether partition p is in the delta window.
+func (cfg MRConfig) dirty(p int) bool {
+	return float64(p) < cfg.DeltaFrac*float64(cfg.Partitions)
+}
+
+// partSeed is the partition's generator seed; dirty partitions fold in
+// the salt so their records and fingerprints change with it.
+func (cfg MRConfig) partSeed(p int) int64 {
+	s := cfg.Seed + int64(p)*7919
+	if cfg.dirty(p) {
+		s += 1 + cfg.DeltaSalt
+	}
+	return s
 }
 
 // DefaultMRConfig returns a laptop-scale MR workload.
@@ -33,7 +58,7 @@ func MRSource(cfg MRConfig) dataflow.Source {
 	return &dataflow.FuncSource{
 		Partitions: cfg.Partitions,
 		Gen: func(p int) []data.Record {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*7919))
+			rng := rand.New(rand.NewSource(cfg.partSeed(p)))
 			zipf := rand.NewZipf(rng, 1.2, 1, uint64(cfg.Docs-1))
 			recs := make([]data.Record, cfg.LinesPerPart)
 			for i := range recs {
@@ -42,6 +67,12 @@ func MRSource(cfg MRConfig) dataflow.Source {
 				recs[i] = data.Record{Value: fmt.Sprintf("doc%07d %d", doc, count)}
 			}
 			return recs
+		},
+		// The fingerprint names everything the generator folds into one
+		// partition, so identical content across runs fingerprints
+		// identically and a salted dirty partition does not.
+		Fingerprint: func(p int) string {
+			return fmt.Sprintf("mr/%d/%d/%d/%d", cfg.LinesPerPart, cfg.Docs, p, cfg.partSeed(p))
 		},
 	}
 }

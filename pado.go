@@ -34,6 +34,7 @@ import (
 	"pado/internal/dataflow"
 	"pado/internal/obs"
 	"pado/internal/runtime"
+	"pado/internal/storage"
 	"pado/internal/trace"
 )
 
@@ -106,6 +107,21 @@ const (
 	EvictionMedium = trace.RateMedium
 	EvictionHigh   = trace.RateHigh
 )
+
+// CommitStore is a content-addressed store of committed stage outputs.
+// Hand the same store to successive runs via Config.Commits and
+// unchanged stages and tasks are served from history instead of
+// recomputed (incremental re-execution, DESIGN.md §14). Sources opt in
+// by implementing FingerprintedSource.
+type CommitStore = storage.CommitStore
+
+// NewCommitStore returns an empty commit store.
+func NewCommitStore() *CommitStore { return storage.NewCommitStore() }
+
+// FingerprintedSource is a Source whose partitions declare stable
+// content fingerprints, which is what keys commit-store caching;
+// sources that do not implement it disable caching downstream.
+type FingerprintedSource = dataflow.FingerprintedSource
 
 // NewPipeline returns an empty pipeline.
 func NewPipeline() *Pipeline { return dataflow.NewPipeline() }
